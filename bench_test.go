@@ -1,0 +1,204 @@
+// Package xcache's top-level benchmark suite regenerates every table and
+// figure of the paper's evaluation (§8) as testing.B benchmarks, one per
+// artifact, reporting the headline quantities as custom benchmark metrics.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The workload scale divisor defaults to 25 (seconds per figure); set
+// XCACHE_BENCH_SCALE=1 to run the published workload sizes.
+package xcache
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"xcache/internal/exp"
+)
+
+func benchScale() int {
+	if s := os.Getenv("XCACHE_BENCH_SCALE"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 25
+}
+
+var (
+	sweepOnce sync.Once
+	sweepVal  *exp.Sweep
+	sweepErr  error
+)
+
+func sweep(b *testing.B) *exp.Sweep {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepVal, sweepErr = exp.RunSweep(benchScale())
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepVal
+}
+
+func report(b *testing.B, out *exp.Out) {
+	b.Helper()
+	for k, v := range out.Metrics {
+		b.ReportMetric(v, k)
+	}
+	if testing.Verbose() {
+		fmt.Println(out.Table.String())
+	}
+}
+
+// BenchmarkFig04LoadToUse regenerates Fig 4: load-to-use latency of
+// meta-tags vs address tags across the five DSAs.
+func BenchmarkFig04LoadToUse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig4(sweep(b)))
+	}
+}
+
+// BenchmarkFig07Occupancy regenerates Fig 7: controller occupancy with
+// coroutines vs blocking threads across off-chip fractions.
+func BenchmarkFig07Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkFig14Speedup regenerates Fig 14: X-Cache vs hardwired DSAs and
+// vs address-based caches, plus the memory-access reduction.
+func BenchmarkFig14Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig14(sweep(b)))
+	}
+}
+
+// BenchmarkFig15Power regenerates Fig 15: total on-chip power, X-Cache vs
+// address-based caches.
+func BenchmarkFig15Power(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig15(sweep(b)))
+	}
+}
+
+// BenchmarkFig16Breakdown regenerates Fig 16: the X-Cache power breakdown
+// (data RAM, meta-tags, routine RAM, controller).
+func BenchmarkFig16Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig16(sweep(b)))
+	}
+}
+
+// BenchmarkFig17CapacitySweep regenerates Fig 17: X-Cache vs Widx runtime
+// as the fraction of the index held on chip grows (TPC-H-22).
+func BenchmarkFig17CapacitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Fig17(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkFig18ParallelismSweep regenerates Fig 18: sweeping #Active and
+// #Exe for GraphPulse and Widx.
+func BenchmarkFig18ParallelismSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.Fig18(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkFig19FPGASynthesis regenerates Fig 19: FPGA utilization of the
+// generated controller per design point.
+func BenchmarkFig19FPGASynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig19())
+	}
+}
+
+// BenchmarkFig20ASICLayout regenerates Fig 20: 45 nm controller area.
+func BenchmarkFig20ASICLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Fig20())
+	}
+}
+
+// BenchmarkAblationProgrammability measures the cost of the programmable
+// controller against a hardwired FSM with identical structures.
+func BenchmarkAblationProgrammability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.AblationProgrammability(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkAblationDesignChoices measures the §3 design decisions
+// (decoupled preload distance, coroutines vs blocking threads).
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.AblationDesignChoices(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkExtensionBTree runs the beyond-the-paper B+-tree walker (the
+// sixth DSA family, composed as §6 MXA).
+func BenchmarkExtensionBTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := exp.ExtensionBTree(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, out)
+	}
+}
+
+// BenchmarkTable1Taxonomy prints the storage-idiom comparison matrix.
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table1())
+	}
+}
+
+// BenchmarkTable2Features prints the per-DSA feature matrix.
+func BenchmarkTable2Features(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table2())
+	}
+}
+
+// BenchmarkTable3DesignPoints prints the per-DSA generator parameters.
+func BenchmarkTable3DesignPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table3())
+	}
+}
+
+// BenchmarkTable4EnergyParams prints the energy model constants.
+func BenchmarkTable4EnergyParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, exp.Table4())
+	}
+}

@@ -1,0 +1,126 @@
+// Command xcache-asm is the microcode tool of the X-Cache toolflow: it
+// compiles walker specifications to routine tables + microcode and
+// assembles/disassembles raw routines.
+//
+// Usage:
+//
+//	xcache-asm -spec widx                # dump a built-in walker's compiled image
+//	xcache-asm -spec rowfetch -o rf.xbin # emit the loadable microcode binary
+//	xcache-asm -in rf.xbin               # disassemble a microcode binary
+//	xcache-asm -file walker.xasm         # assemble one routine from a file
+//	echo 'allocm
+//	halt Valid' | xcache-asm             # assemble a routine from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xcache/internal/dsa/dasx"
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/isa"
+	"xcache/internal/program"
+)
+
+func main() {
+	spec := flag.String("spec", "", "built-in walker: widx | dasx | rowfetch | eventstore")
+	file := flag.String("file", "", "assemble a single routine from this file (default stdin)")
+	shift := flag.Uint("shift", 56, "hash shift for widx/dasx specs (64 - log2 buckets)")
+	out := flag.String("o", "", "write the compiled microcode binary to this file")
+	in := flag.String("in", "", "load and dump a microcode binary")
+	flag.Parse()
+
+	if *in != "" {
+		loadBinary(*in)
+		return
+	}
+	if *spec != "" {
+		dumpSpec(*spec, *shift, *out)
+		return
+	}
+	assembleRoutine(*file)
+}
+
+func loadBinary(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+		os.Exit(1)
+	}
+	var p program.Program
+	if err := p.UnmarshalBinary(data); err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(p.Dump())
+}
+
+func dumpSpec(name string, shift uint, out string) {
+	var s program.Spec
+	switch name {
+	case "widx":
+		s = widx.Spec(shift)
+	case "dasx":
+		s = dasx.Spec(shift)
+	case "rowfetch", "sparch", "gamma":
+		s = spgemm.Spec()
+	case "eventstore", "graphpulse":
+		s = graphpulse.Spec()
+	default:
+		fmt.Fprintf(os.Stderr, "xcache-asm: unknown spec %q\n", name)
+		os.Exit(1)
+	}
+	p, err := s.Compile()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+		os.Exit(1)
+	}
+	if out != "" {
+		data, err := p.MarshalBinary()
+		if err == nil {
+			err = os.WriteFile(out, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d-byte microcode binary to %s\n", len(data), out)
+		return
+	}
+	fmt.Print(p.Dump())
+	fmt.Println("\nencoded microcode:")
+	for pc, in := range p.Code {
+		fmt.Printf("  %3d: %08x  %s\n", pc, in.Encode(), in.String())
+	}
+}
+
+func assembleRoutine(file string) {
+	var src []byte
+	var err error
+	if file == "" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(file)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+		os.Exit(1)
+	}
+	// Routines assembled standalone see the built-in states/statuses.
+	syms := map[string]int64{
+		"Valid": program.StateValid, "Default": program.StateInvalid,
+		"OK": program.StatusOK, "NOTFOUND": program.StatusNotFound,
+	}
+	code, err := isa.Assemble(string(src), syms)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-asm:", err)
+		os.Exit(1)
+	}
+	for pc, in := range code {
+		fmt.Printf("%3d: %08x  %s\n", pc, in.Encode(), in.String())
+	}
+}

@@ -1,0 +1,141 @@
+// Command xcache-bench regenerates the paper's evaluation: every table
+// and figure of §8, at a configurable workload scale.
+//
+// Usage:
+//
+//	xcache-bench [-scale N] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4]
+//
+// scale divides the published workload sizes (and cache capacities with
+// them); -scale 1 runs the paper-scale configuration and takes several
+// minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"xcache/internal/exp"
+)
+
+func main() {
+	scale := flag.Int("scale", 25, "workload scale divisor (1 = paper scale)")
+	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, ablation) or 'all'")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *figs != "all" {
+		for _, f := range strings.Split(*figs, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	sel := func(id string) bool { return *figs == "all" || want[id] }
+
+	var outs []*exp.Out
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "xcache-bench:", err)
+		os.Exit(1)
+	}
+
+	if sel("t1") {
+		outs = append(outs, exp.Table1())
+	}
+	if sel("t2") {
+		outs = append(outs, exp.Table2())
+	}
+	if sel("t3") {
+		outs = append(outs, exp.Table3())
+	}
+	if sel("t4") {
+		outs = append(outs, exp.Table4())
+	}
+
+	needSweep := sel("4") || sel("14") || sel("15") || sel("16")
+	var sw *exp.Sweep
+	if needSweep {
+		fmt.Fprintf(os.Stderr, "running full DSA sweep at scale %d...\n", *scale)
+		var err error
+		sw, err = exp.RunSweep(*scale)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if sel("4") {
+		outs = append(outs, exp.Fig4(sw))
+	}
+	if sel("7") {
+		o, err := exp.Fig7(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+	}
+	if sel("14") {
+		outs = append(outs, exp.Fig14(sw))
+	}
+	if sel("15") {
+		outs = append(outs, exp.Fig15(sw))
+	}
+	if sel("16") {
+		outs = append(outs, exp.Fig16(sw))
+	}
+	if sel("17") {
+		o, err := exp.Fig17(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+	}
+	if sel("18") {
+		o, err := exp.Fig18(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+	}
+	if sel("19") {
+		outs = append(outs, exp.Fig19())
+	}
+	if sel("20") {
+		outs = append(outs, exp.Fig20())
+	}
+	if sel("btree") {
+		o, err := exp.ExtensionBTree(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+	}
+	if sel("ablation") {
+		o, err := exp.AblationProgrammability(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+		o, err = exp.AblationDesignChoices(*scale)
+		if err != nil {
+			fail(err)
+		}
+		outs = append(outs, o)
+	}
+
+	for _, o := range outs {
+		fmt.Println(o.Table.String())
+		for _, n := range o.Notes {
+			fmt.Println("note:", n)
+		}
+		if len(o.Metrics) > 0 {
+			keys := make([]string, 0, len(o.Metrics))
+			for k := range o.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("metric: %s = %.3f\n", k, o.Metrics[k])
+			}
+		}
+		fmt.Println()
+	}
+}

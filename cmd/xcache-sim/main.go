@@ -1,0 +1,107 @@
+// Command xcache-sim runs a single DSA simulation — one accelerator, one
+// workload, one storage idiom — and prints its measurements. It is the
+// quickest way to poke at a configuration.
+//
+// Usage:
+//
+//	xcache-sim -dsa widx -kind xcache -query TPC-H-19 -scale 50
+//	xcache-sim -dsa gamma -kind addr -scale 30
+//	xcache-sim -dsa graphpulse -kind baseline -scale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xcache/internal/dsa"
+	"xcache/internal/dsa/dasx"
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/hashidx"
+)
+
+func main() {
+	name := flag.String("dsa", "widx", "widx | dasx | sparch | gamma | graphpulse")
+	kind := flag.String("kind", "xcache", "xcache | addr | baseline")
+	query := flag.String("query", "TPC-H-19", "TPC-H query profile (widx/dasx)")
+	scale := flag.Int("scale", 25, "workload scale divisor (1 = paper scale)")
+	flag.Parse()
+
+	r, err := run(*name, *kind, *query, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r.String())
+	fmt.Printf("  cycles           %d\n", r.Cycles)
+	fmt.Printf("  DRAM accesses    %d (%d words read)\n", r.DRAMAccesses, r.DRAMReadWords)
+	fmt.Printf("  hit rate         %.3f\n", r.HitRate)
+	fmt.Printf("  load-to-use      %.1f cycles (hits: %.1f)\n", r.AvgLoadToUse, r.HitLoadToUse)
+	fmt.Printf("  on-chip energy   %.0f pJ (data %.0f, tag %.0f, rtn %.0f, ctrl %.0f)\n",
+		r.Energy.OnChip(), r.Energy.DataRAM, r.Energy.TagRAM, r.Energy.RoutineRAM, r.Energy.Controller())
+	fmt.Printf("  validated        %v\n", r.Checked)
+}
+
+func run(name, kind, query string, scale int) (dsa.Result, error) {
+	var profile hashidx.Profile
+	found := false
+	for _, p := range hashidx.TPCH() {
+		if p.Name == query {
+			profile, found = p, true
+		}
+	}
+	if !found {
+		return dsa.Result{}, fmt.Errorf("unknown query %q", query)
+	}
+	hashWork := widx.DefaultWork(profile, scale)
+
+	switch name {
+	case "widx":
+		switch kind {
+		case "xcache":
+			return widx.RunXCache(hashWork, widx.Options{})
+		case "addr":
+			return widx.RunAddr(hashWork, widx.Options{})
+		case "baseline":
+			return widx.RunBaseline(hashWork, widx.Options{})
+		}
+	case "dasx":
+		switch kind {
+		case "xcache":
+			return dasx.RunXCache(hashWork, dasx.Options{})
+		case "addr":
+			return dasx.RunAddr(hashWork, dasx.Options{})
+		case "baseline":
+			return dasx.RunBaseline(hashWork, dasx.Options{})
+		}
+	case "sparch", "gamma":
+		alg := spgemm.SpArch
+		if name == "gamma" {
+			alg = spgemm.Gamma
+		}
+		w := spgemm.P2PGnutella31(scale)
+		switch kind {
+		case "xcache":
+			return spgemm.RunXCache(alg, w, spgemm.Options{})
+		case "addr":
+			return spgemm.RunAddr(alg, w, spgemm.Options{})
+		case "baseline":
+			return spgemm.RunBaseline(alg, w, spgemm.Options{})
+		}
+	case "graphpulse":
+		w := graphpulse.P2PGnutella08(scale)
+		switch kind {
+		case "xcache":
+			return graphpulse.RunXCache(w, graphpulse.Options{})
+		case "addr":
+			return graphpulse.RunAddr(w, graphpulse.Options{})
+		case "baseline":
+			return graphpulse.RunBaseline(w, graphpulse.Options{})
+		}
+	default:
+		return dsa.Result{}, fmt.Errorf("unknown DSA %q", name)
+	}
+	return dsa.Result{}, fmt.Errorf("unknown kind %q", kind)
+}

@@ -1,0 +1,68 @@
+// PageRank: the GraphPulse scenario (§5, §7.2) — X-Cache as an
+// event-coalescing store.
+//
+// GraphPulse processes graphs as delta events. X-Cache replaces its event
+// queue: an event (vertex, delta) is a meta store-merge tagged by vertex
+// id — on a hit the delta is added into the data RAM by the hit pipeline
+// (coalescing); on a miss a three-action walker allocates the entry, with
+// no DRAM walk at all. Between supersteps the datapath drains the
+// coalesced events and streams adjacency for the active vertices.
+//
+// Run:  go run ./examples/pagerank
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/graph"
+)
+
+func main() {
+	work := graphpulse.P2PGnutella08(5) // N=1260, E=4200
+	fmt.Printf("PageRank on a %d-vertex, %d-edge power-law graph\n\n", work.N, work.E)
+
+	x, err := graphpulse.RunXCache(work, graphpulse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !x.Checked {
+		log.Fatal("ranks diverged from the delta-PageRank reference")
+	}
+	fmt.Printf("X-Cache event store:   %8d cycles, hit (coalesce) rate %.2f, %d DRAM accs\n",
+		x.Cycles, x.HitRate, x.DRAMAccesses)
+
+	a, err := graphpulse.RunAddr(work, graphpulse.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dense array via L1:    %8d cycles (must scan every vertex per superstep)\n", a.Cycles)
+	fmt.Printf("speedup %.2fx, energy ratio %.2fx\n\n",
+		x.Speedup(a), a.Energy.OnChip()/x.Energy.OnChip())
+
+	// Show the converged ranks agree with power iteration.
+	g := graph.RMAT(work.N, work.E, work.Seed)
+	ref := graph.PageRank(g, graph.PageRankParams{})
+	top, topRank := 0, 0.0
+	for v, r := range ref {
+		if r > topRank {
+			top, topRank = v, r
+		}
+	}
+	fmt.Printf("highest-rank vertex: %d (rank %.5f by power iteration)\n", top, topRank)
+	fmt.Println("the event-driven run was validated against the delta-propagation reference")
+
+	// Same hardware, different merge operator: single-source shortest
+	// paths coalesces events with MIN instead of ADD in the hit pipeline.
+	s, err := graphpulse.RunSSSP(work, graphpulse.Options{}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !s.Checked {
+		log.Fatal("SSSP distances diverged from BFS")
+	}
+	fmt.Printf("\nSSSP on the same event store (MIN-coalescing): %d cycles, hit rate %.2f\n",
+		s.Cycles, s.HitRate)
+	fmt.Println("distances validated against a BFS reference")
+}

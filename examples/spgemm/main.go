@@ -1,0 +1,59 @@
+// SpGEMM: sparse matrix-matrix multiplication on SpArch and Gamma (§5).
+//
+// Both DSAs stream matrix A and fetch rows of matrix B through X-Cache,
+// meta-tagged by row index; the walker reads B.row_ptr and performs a
+// variable-length tiled refill. The two DSAs share the exact same cache
+// microarchitecture and walker program — only the dataflow differs:
+// SpArch pairs column k of A with row k of B (outer product, almost no
+// reuse, hidden by decoupled preload), while Gamma requests B rows per
+// A-nonzero (Gustavson, input-dependent reuse the meta-tags capture).
+//
+// Run:  go run ./examples/spgemm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/sparse"
+)
+
+func main() {
+	work := spgemm.P2PGnutella31(40) // power-law matrices, scaled down
+	fmt.Printf("A, B: %d x %d R-MAT matrices, %d nonzeros each\n",
+		67000/40, 67000/40, 147000/40)
+
+	// The reference algorithms agree with each other (and the DSA
+	// pipelines are validated against matrix B row by row).
+	a := sparse.RMAT(work.N, work.NNZ, work.Seed)
+	b := sparse.RMAT(work.N, work.NNZ, work.Seed+1)
+	c := sparse.MulGustavson(a, b)
+	if !sparse.Equal(c, sparse.MulOuter(a, b), 1e-9) {
+		log.Fatal("reference SpGEMM algorithms disagree")
+	}
+	fmt.Printf("C = A x B has %d nonzeros (Gustavson and outer product agree)\n\n", c.NNZ())
+
+	for _, alg := range []spgemm.Algorithm{spgemm.SpArch, spgemm.Gamma} {
+		x, err := spgemm.RunXCache(alg, work, spgemm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ad, err := spgemm.RunAddr(alg, work, spgemm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !x.Checked || !ad.Checked {
+			log.Fatalf("%s: fetched B rows did not match the matrix", alg)
+		}
+		fmt.Printf("%s:\n", alg)
+		fmt.Printf("  X-Cache    %8d cycles  %6d DRAM accs  B-row hit rate %.2f\n",
+			x.Cycles, x.DRAMAccesses, x.HitRate)
+		fmt.Printf("  addr-cache %8d cycles  %6d DRAM accs  (walks row_ptr on every access)\n",
+			ad.Cycles, ad.DRAMAccesses)
+		fmt.Printf("  speedup %.2fx, memory accesses reduced %.2fx\n\n",
+			x.Speedup(ad), float64(ad.DRAMAccesses)/float64(x.DRAMAccesses))
+	}
+	fmt.Println("note: SpArch and Gamma ran on the identical X-Cache microarchitecture;")
+	fmt.Println("      only the datapath streaming order differs (§1).")
+}

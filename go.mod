@@ -1,0 +1,3 @@
+module xcache
+
+go 1.22

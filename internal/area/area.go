@@ -1,0 +1,144 @@
+// Package area provides the structural area model behind the paper's
+// synthesis results (§8.4). The paper synthesized the generated controller
+// with Quartus II 13.0 (FPGA: Altera Cyclone IV GX EP4CGX150DF31C8) and
+// with OpenROAD to GDS at 45 nm. We calibrate per-module linear
+// coefficients to the published design point — #Exe=4, #Active=8: 6985
+// logic elements, 5766 combinational functions, 3457 registers, 0.11 mm²
+// and 65K cells, with X-Reg dominating registers and the Action-Executor
+// units dominating logic — and scale them structurally with the generator
+// parameters, exactly as the Chisel generator's structures scale.
+package area
+
+// Module names used in the Fig 19 breakdowns.
+const (
+	ModRtnTable   = "Rtn.Table"
+	ModActMeta    = "Act.Meta"
+	ModXReg       = "X-Reg"
+	ModActionExec = "ActionExec"
+	ModOthers     = "Others"
+)
+
+// Modules lists the breakdown order used in reports.
+var Modules = []string{ModRtnTable, ModActMeta, ModXReg, ModActionExec, ModOthers}
+
+// Inputs are the generator parameters the structures scale with.
+type Inputs struct {
+	NumExe          int
+	NumActive       int
+	NumXRegs        int // registers per walker (default 16)
+	RtnTableEntries int // states × events (default 16)
+	MicrocodeWords  int // routine RAM words (default 64)
+}
+
+func (in *Inputs) defaults() {
+	if in.NumXRegs == 0 {
+		in.NumXRegs = 16
+	}
+	if in.RtnTableEntries == 0 {
+		in.RtnTableEntries = 16
+	}
+	if in.MicrocodeWords == 0 {
+		in.MicrocodeWords = 64
+	}
+}
+
+// Reference design point (the paper's synthesis configuration).
+const (
+	refExe         = 4
+	refActive      = 8
+	refLEs         = 6985.0
+	refComb        = 5766.0
+	refRegs        = 3457.0
+	refCells       = 65000.0
+	refMM2         = 0.11
+	ramMM2Per256KB = 0.8 // "a 256K RAM under 45nm technology requires 0.8mm²"
+)
+
+// Published Fig 19 module shares at the reference point.
+var refRegShare = map[string]float64{
+	ModXReg:       0.31,
+	ModActMeta:    0.24,
+	ModActionExec: 0.15,
+	ModRtnTable:   0.10,
+	ModOthers:     0.20,
+}
+
+var refLogicShare = map[string]float64{
+	ModActionExec: 0.45,
+	ModActMeta:    0.20,
+	ModRtnTable:   0.11,
+	ModXReg:       0.04,
+	ModOthers:     0.20,
+}
+
+// scale returns each module's structural scaling factor relative to the
+// reference point.
+func scale(in Inputs) map[string]float64 {
+	in.defaults()
+	return map[string]float64{
+		// X-registers scale with walkers × registers per walker.
+		ModXReg: float64(in.NumActive*in.NumXRegs) / float64(refActive*16),
+		// Active meta-tag tracking scales with walker count.
+		ModActMeta: float64(in.NumActive) / refActive,
+		// Executors scale with issue width.
+		ModActionExec: float64(in.NumExe) / refExe,
+		// Routine table scales with its entry count.
+		ModRtnTable: float64(in.RtnTableEntries) / 16,
+		// Queues, scheduler, decode: fixed.
+		ModOthers: 1,
+	}
+}
+
+// FPGA is a Quartus-style utilization estimate.
+type FPGA struct {
+	LEs       int
+	Comb      int
+	Registers int
+	RegByMod  map[string]int
+	LEByMod   map[string]int
+}
+
+// EstimateFPGA returns the utilization estimate for the configuration.
+func EstimateFPGA(in Inputs) FPGA {
+	s := scale(in)
+	out := FPGA{RegByMod: map[string]int{}, LEByMod: map[string]int{}}
+	var regs, les float64
+	for _, m := range Modules {
+		r := refRegs * refRegShare[m] * s[m]
+		l := refLEs * refLogicShare[m] * s[m]
+		out.RegByMod[m] = int(r + 0.5)
+		out.LEByMod[m] = int(l + 0.5)
+		regs += r
+		les += l
+	}
+	out.Registers = int(regs + 0.5)
+	out.LEs = int(les + 0.5)
+	out.Comb = int(les*(refComb/refLEs) + 0.5)
+	return out
+}
+
+// ASIC is an OpenROAD-style 45 nm estimate for the controller (no RAMs).
+type ASIC struct {
+	Cells         int
+	ControllerMM2 float64
+}
+
+// EstimateASIC returns the controller cells/area estimate.
+func EstimateASIC(in Inputs) ASIC {
+	s := scale(in)
+	var f float64
+	for _, m := range Modules {
+		// ASIC cells follow the logic proportions.
+		f += refLogicShare[m] * s[m]
+	}
+	return ASIC{
+		Cells:         int(refCells*f + 0.5),
+		ControllerMM2: refMM2 * f,
+	}
+}
+
+// RAMMM2 estimates the 45 nm area of a RAM of the given byte capacity
+// (data RAM + meta-tags), from the paper's 256 KB = 0.8 mm² point.
+func RAMMM2(bytes int) float64 {
+	return ramMM2Per256KB * float64(bytes) / (256 * 1024)
+}

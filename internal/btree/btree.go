@@ -1,0 +1,163 @@
+// Package btree provides a B+-tree index substrate — a data structure the
+// paper does not evaluate, used to demonstrate that the X-Cache idiom
+// ports beyond its five published DSAs: the same controller, meta-tagged
+// by search key, runs a multi-level descent walker expressed in the same
+// microcode action set.
+//
+// Node layout (8 words, 64 bytes, matching one walker fill):
+//
+//	word 0..2  keys k0 ≤ k1 ≤ k2 (unused slots hold MaxUint64)
+//	word 3..6  children c0..c3 (internal) — or values v0..v2 + 0 (leaf)
+//	word 7     1 for leaf nodes, 0 for internal nodes
+//
+// Descent picks the first key slot with searchKey < k_i and follows
+// child c_i (c3 when none); leaves match exactly.
+package btree
+
+import (
+	"sort"
+
+	"xcache/internal/mem"
+)
+
+// KeyInf is the unused-slot sentinel. It is below 2^63 so the walker's
+// signed blt compare orders every legal key beneath it; keys must be in
+// (0, KeyInf).
+const KeyInf = uint64(1) << 62
+
+// NodeWords is the node size in words.
+const NodeWords = 8
+
+// Fanout is the number of children per internal node.
+const Fanout = 4
+
+// keysPerNode is the number of keys stored per node.
+const keysPerNode = 3
+
+// Tree is a B+-tree resident in a memory image.
+type Tree struct {
+	Root   uint64
+	Height int
+	Keys   []uint64
+	Values map[uint64]uint64
+	img    *mem.Image
+	nodes  int
+}
+
+// Build constructs a B+-tree over the given keys (values = 3·key+7),
+// bottom-up, in the image. Keys are deduplicated and sorted.
+func Build(img *mem.Image, keys []uint64) *Tree {
+	t := &Tree{img: img, Values: map[uint64]uint64{}}
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if k == 0 || seen[k] {
+			continue // key 0 reserved (null child)
+		}
+		seen[k] = true
+		t.Keys = append(t.Keys, k)
+		t.Values[k] = 3*k + 7
+	}
+	sort.Slice(t.Keys, func(i, j int) bool { return t.Keys[i] < t.Keys[j] })
+
+	// Leaf level.
+	type nodeRef struct {
+		addr uint64
+		min  uint64 // smallest key in subtree
+	}
+	var level []nodeRef
+	for i := 0; i < len(t.Keys); i += keysPerNode {
+		end := i + keysPerNode
+		if end > len(t.Keys) {
+			end = len(t.Keys)
+		}
+		addr := img.Alloc(NodeWords*8, 64)
+		t.nodes++
+		for j := 0; j < keysPerNode; j++ {
+			key := KeyInf
+			val := uint64(0)
+			if i+j < end {
+				key = t.Keys[i+j]
+				val = t.Values[key]
+			}
+			img.W64(addr+uint64(j)*8, key)
+			img.W64(addr+uint64(3+j)*8, val)
+		}
+		img.W64(addr+7*8, 1) // leaf flag
+		level = append(level, nodeRef{addr: addr, min: t.Keys[i]})
+	}
+	if len(level) == 0 {
+		// Empty tree: a single empty leaf.
+		addr := img.Alloc(NodeWords*8, 64)
+		t.nodes++
+		for j := 0; j < keysPerNode; j++ {
+			img.W64(addr+uint64(j)*8, KeyInf)
+		}
+		img.W64(addr+7*8, 1)
+		level = append(level, nodeRef{addr: addr})
+	}
+	t.Height = 1
+
+	// Internal levels.
+	for len(level) > 1 {
+		var next []nodeRef
+		for i := 0; i < len(level); i += Fanout {
+			end := i + Fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			addr := img.Alloc(NodeWords*8, 64)
+			t.nodes++
+			// Separator keys: min key of children 1..end-1.
+			for j := 0; j < keysPerNode; j++ {
+				key := KeyInf
+				if i+j+1 < end {
+					key = level[i+j+1].min
+				}
+				img.W64(addr+uint64(j)*8, key)
+			}
+			for j := 0; j < Fanout; j++ {
+				child := uint64(0)
+				if i+j < end {
+					child = level[i+j].addr
+				}
+				img.W64(addr+uint64(3+j)*8, child)
+			}
+			img.W64(addr+7*8, 0)
+			next = append(next, nodeRef{addr: addr, min: level[i].min})
+		}
+		level = next
+		t.Height++
+	}
+	t.Root = level[0].addr
+	return t
+}
+
+// Nodes returns the number of nodes built.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Lookup is the pure-Go reference descent.
+func (t *Tree) Lookup(key uint64) (uint64, bool) {
+	addr := t.Root
+	for {
+		leaf := t.img.R64(addr+7*8) == 1
+		if leaf {
+			for j := 0; j < keysPerNode; j++ {
+				if t.img.R64(addr+uint64(j)*8) == key {
+					return t.img.R64(addr + uint64(3+j)*8), true
+				}
+			}
+			return 0, false
+		}
+		slot := keysPerNode // default: rightmost child
+		for j := 0; j < keysPerNode; j++ {
+			if key < t.img.R64(addr+uint64(j)*8) {
+				slot = j
+				break
+			}
+		}
+		addr = t.img.R64(addr + uint64(3+slot)*8)
+		if addr == 0 {
+			return 0, false
+		}
+	}
+}

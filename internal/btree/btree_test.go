@@ -1,0 +1,93 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/mem"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	img := mem.NewImage()
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(i*3 + 1)
+	}
+	tr := Build(img, keys)
+	if tr.Height < 3 {
+		t.Fatalf("height %d for 200 keys", tr.Height)
+	}
+	for _, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != 3*k+7 {
+			t.Fatalf("key %d: (%d,%v)", k, v, ok)
+		}
+	}
+	for _, absent := range []uint64{2, 5, 1000000} {
+		if _, ok := tr.Lookup(absent); ok {
+			t.Fatalf("found absent key %d", absent)
+		}
+	}
+}
+
+func TestEmptyAndTinyTrees(t *testing.T) {
+	img := mem.NewImage()
+	tr := Build(img, nil)
+	if _, ok := tr.Lookup(5); ok {
+		t.Fatal("empty tree found a key")
+	}
+	tr2 := Build(img, []uint64{42})
+	if v, ok := tr2.Lookup(42); !ok || v != 3*42+7 {
+		t.Fatalf("single-key tree: (%d,%v)", v, ok)
+	}
+	if tr2.Height != 1 {
+		t.Fatalf("single-key height %d", tr2.Height)
+	}
+}
+
+func TestKeyZeroAndDuplicatesIgnored(t *testing.T) {
+	img := mem.NewImage()
+	tr := Build(img, []uint64{0, 7, 7, 9})
+	if len(tr.Keys) != 2 {
+		t.Fatalf("keys %v", tr.Keys)
+	}
+}
+
+// Property: every inserted key found with the right value; neighbours of
+// inserted keys that were not inserted are absent.
+func TestLookupProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		img := mem.NewImage()
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(5000))*2 + 2 // even keys only
+		}
+		tr := Build(img, keys)
+		for _, k := range tr.Keys {
+			if v, ok := tr.Lookup(k); !ok || v != 3*k+7 {
+				return false
+			}
+		}
+		// Odd keys were never inserted.
+		for i := 0; i < 20; i++ {
+			if _, ok := tr.Lookup(uint64(rng.Intn(10000))*2 + 1); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodesAligned(t *testing.T) {
+	img := mem.NewImage()
+	tr := Build(img, []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if tr.Root%64 != 0 {
+		t.Fatalf("root at %#x not 64B aligned", tr.Root)
+	}
+}

@@ -1,0 +1,259 @@
+// Package core is the public face of the X-Cache library — the analogue
+// of the paper's Chisel generator top module (Fig 13) plus its toolflow
+// (Fig 12). A designer provides:
+//
+//   - a Config: the generator parameters — meta-tag geometry (ways, sets,
+//     key fields), data-RAM geometry (#Word per sector, sector count),
+//     and controller parallelism (#Active walkers, #Exe action slots);
+//   - a program.Spec: the table-driven walker — one line per
+//     (state, event) transition with the microcode actions to run.
+//
+// Build compiles the walker, instantiates the meta-tag array, data RAM
+// and programmable controller, and wires them to a memory port. The DSA
+// datapath then issues meta loads/stores through Cache.Ctrl.ReqQ and
+// consumes responses from Cache.Ctrl.RespQ; on hits X-Cache answers in a
+// 3-cycle load-to-use, and on misses the compiled walker traverses the
+// DSA's data structure in DRAM.
+//
+// The package also ships the paper's Table 3 per-DSA configurations.
+package core
+
+import (
+	"fmt"
+
+	"xcache/internal/ctrl"
+	"xcache/internal/dataram"
+	"xcache/internal/dram"
+	"xcache/internal/energy"
+	"xcache/internal/mem"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+// Key re-exports the meta-tag key type for datapath convenience.
+type Key = metatag.Key
+
+// Config collects every generator knob of Fig 13.
+type Config struct {
+	Name string
+
+	// Meta-tag geometry.
+	Sets     int // power of two
+	Ways     int
+	KeyWords int // meta-tag fields compared (1 or 2)
+	TagBytes int // stored tag entry bytes (energy model)
+	// IdentityIndex indexes sets by the raw key (dense-id DSAs like
+	// GraphPulse) instead of a mixed hash.
+	IdentityIndex bool
+
+	// Data RAM geometry.
+	WordsPerSector int // #Word delivered per sector (#wlen stripe)
+	Sectors        int // total sectors; 0 → 2 × Sets × Ways
+	Banks          int // 0 → WordsPerSector
+
+	// Controller.
+	NumActive    int // concurrent walkers
+	NumExe       int // action slots per cycle
+	NumXRegs     int
+	MaxFillWords int
+	Mode         ctrl.ExecMode
+	Hardwired    bool // hardwired-FSM baseline (no routine RAM)
+
+	// Queue depths (0 → controller defaults).
+	MetaQueueDepth int
+	RespQueueDepth int
+
+	// RespDataWords caps the words copied into MetaResp.Data for
+	// functional validation (energy is charged for the full transfer).
+	RespDataWords int
+}
+
+// Validate reports configuration errors a hardware generator would reject.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("core: Sets must be a positive power of two, got %d", c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("core: Ways must be positive, got %d", c.Ways)
+	}
+	if c.WordsPerSector <= 0 {
+		return fmt.Errorf("core: WordsPerSector must be positive, got %d", c.WordsPerSector)
+	}
+	if c.KeyWords < 0 || c.KeyWords > 2 {
+		return fmt.Errorf("core: KeyWords must be 1 or 2, got %d", c.KeyWords)
+	}
+	if c.NumActive < 0 || c.NumExe < 0 {
+		return fmt.Errorf("core: negative controller parallelism")
+	}
+	return nil
+}
+
+// withDefaults fills derived values.
+func (c Config) withDefaults() Config {
+	if c.Sectors == 0 {
+		c.Sectors = 2 * c.Sets * c.Ways
+	}
+	if c.KeyWords == 0 {
+		c.KeyWords = 1
+	}
+	return c
+}
+
+// Cache is a built X-Cache instance.
+type Cache struct {
+	Cfg   Config
+	Prog  *program.Program
+	Ctrl  *ctrl.Controller
+	Tags  *metatag.Array
+	Data  *dataram.RAM
+	Meter *energy.Counters
+}
+
+// Build compiles spec and instantiates the cache against the given memory
+// port (usually a dram.DRAM's queues, or a lower cache level in the MX /
+// MXA hierarchies of §6).
+func Build(k *sim.Kernel, cfg Config, spec program.Spec,
+	memReq *sim.Queue[dram.Request], memResp *sim.Queue[dram.Response],
+	meter *energy.Counters) (*Cache, error) {
+
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	prog, err := spec.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling walker %q: %w", spec.Name, err)
+	}
+	if meter == nil {
+		meter = &energy.Counters{}
+	}
+	tags := metatag.New(metatag.Config{
+		Sets: cfg.Sets, Ways: cfg.Ways, KeyWords: cfg.KeyWords, TagBytes: cfg.TagBytes,
+		IdentityIndex: cfg.IdentityIndex,
+	}, meter)
+	data := dataram.New(dataram.Config{
+		Sectors: cfg.Sectors, WordsPerSector: cfg.WordsPerSector, Banks: cfg.Banks,
+	}, meter)
+	cc := ctrl.New(k, ctrl.Config{
+		NumActive: cfg.NumActive, NumExe: cfg.NumExe, NumXRegs: cfg.NumXRegs,
+		MaxFillWords: cfg.MaxFillWords, Mode: cfg.Mode, Hardwired: cfg.Hardwired,
+		MetaQueueDepth: cfg.MetaQueueDepth, RespQueueDepth: cfg.RespQueueDepth,
+		RespDataWords: cfg.RespDataWords,
+	}, prog, tags, data, memReq, memResp, meter)
+	return &Cache{Cfg: cfg, Prog: prog, Ctrl: cc, Tags: tags, Data: data, Meter: meter}, nil
+}
+
+// SetEnv forwards a DSA environment operand to the controller.
+func (c *Cache) SetEnv(i int, v uint64) { c.Ctrl.SetEnv(i, v) }
+
+// System bundles the common single-level setup: kernel, memory image,
+// DRAM channel and one X-Cache.
+type System struct {
+	K     *sim.Kernel
+	Img   *mem.Image
+	DRAM  *dram.DRAM
+	Cache *Cache
+	Meter *energy.Counters
+}
+
+// NewSystem builds a kernel+DRAM+X-Cache stack.
+func NewSystem(cfg Config, dramCfg dram.Config, spec program.Spec) (*System, error) {
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, dramCfg, img)
+	meter := &energy.Counters{}
+	c, err := Build(k, cfg, spec, d.Req, d.Resp, meter)
+	if err != nil {
+		return nil, err
+	}
+	return &System{K: k, Img: img, DRAM: d, Cache: c, Meter: meter}, nil
+}
+
+// RunStats is a full measurement snapshot.
+type RunStats struct {
+	Cycles uint64
+	Ctrl   ctrl.Stats
+	Tags   metatag.Stats
+	Data   dataram.Stats
+	DRAM   dram.Stats
+	Energy energy.Breakdown
+}
+
+// Snapshot captures all statistics at the current cycle.
+func (s *System) Snapshot() RunStats {
+	return RunStats{
+		Cycles: uint64(s.K.Cycle()),
+		Ctrl:   s.Cache.Ctrl.Stats(),
+		Tags:   s.Cache.Tags.Stats(),
+		Data:   s.Cache.Data.Stats(),
+		DRAM:   s.DRAM.Stats(),
+		Energy: s.Meter.Energy(energy.DefaultParams()),
+	}
+}
+
+// Drain runs the kernel until the cache and DRAM are idle (all issued
+// work answered), up to max cycles. It reports whether it drained.
+func (s *System) Drain(max int) bool {
+	return s.K.RunUntil(func() bool { return s.Cache.Ctrl.Idle() && s.DRAM.Idle() }, max)
+}
+
+// --- Table 3: the paper's per-DSA design points. ---
+
+// WidxConfig returns the Widx design point (#Active 16, #Exe 2, 8 ways,
+// 1024 sets, 4 words).
+func WidxConfig() Config {
+	return Config{Name: "Widx", NumActive: 16, NumExe: 2,
+		Ways: 8, Sets: 1024, WordsPerSector: 4, KeyWords: 1}
+}
+
+// DASXConfig returns the DASX hash design point (#Active 16, #Exe 4).
+func DASXConfig() Config {
+	return Config{Name: "DASX", NumActive: 16, NumExe: 4,
+		Ways: 8, Sets: 1024, WordsPerSector: 4, KeyWords: 1}
+}
+
+// SpArchConfig returns the SpArch design point (#Active 32, #Exe 4,
+// 8 ways, 512 sets, 4 words).
+func SpArchConfig() Config {
+	return Config{Name: "SpArch", NumActive: 32, NumExe: 4,
+		Ways: 8, Sets: 512, WordsPerSector: 4, KeyWords: 1, MaxFillWords: 8}
+}
+
+// GammaConfig returns the Gamma design point — the same microarchitecture
+// as SpArch (§1: "we only had to reprogram the controller").
+func GammaConfig() Config {
+	c := SpArchConfig()
+	c.Name = "Gamma"
+	return c
+}
+
+// GraphPulseConfig returns the GraphPulse design point (#Active 16,
+// #Exe 4, direct-mapped, 131072 sets, 8 words).
+func GraphPulseConfig() Config {
+	return Config{Name: "GraphPulse", NumActive: 16, NumExe: 4,
+		Ways: 1, Sets: 131072, WordsPerSector: 8, KeyWords: 1, IdentityIndex: true,
+		TagBytes: 6} // vertex-id tags are narrow
+}
+
+// Table3 lists all five design points in paper order.
+func Table3() []Config {
+	return []Config{WidxConfig(), DASXConfig(), SpArchConfig(), GammaConfig(), GraphPulseConfig()}
+}
+
+// Scaled shrinks a configuration by div in sets and sectors (capacity),
+// keeping ways/words/parallelism; unit tests use it to keep runtimes
+// short while exercising the same structures.
+func (c Config) Scaled(div int) Config {
+	c.Sets /= div
+	if c.Sets < 1 {
+		c.Sets = 1
+	}
+	for c.Sets&(c.Sets-1) != 0 {
+		c.Sets++
+	}
+	if c.Sectors > 0 {
+		c.Sectors /= div
+	}
+	return c
+}

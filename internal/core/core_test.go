@@ -1,0 +1,164 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xcache/internal/ctrl"
+	"xcache/internal/dram"
+	"xcache/internal/program"
+)
+
+// idxSpec is the quickstart walker: cache array[key] words.
+func idxSpec() program.Spec {
+	return program.Spec{
+		Name:   "idx",
+		States: []string{"WaitFill"},
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocm
+				lde r4, e0
+				shl r5, r1, 3
+				add r5, r4, r5
+				enqfilli r5, 1
+				state WaitFill
+			`},
+			{State: "WaitFill", Event: "Fill", Asm: `
+				peek r6, 0
+				allocdi r7, 1
+				writed r7, r6
+				li r8, 1
+				update r7, r8
+				enqresp r6, OK
+				halt Valid
+			`},
+		},
+	}
+}
+
+func smallCfg() Config {
+	return Config{Name: "t", Sets: 16, Ways: 2, WordsPerSector: 4, NumActive: 4, NumExe: 2}
+}
+
+func TestNewSystemEndToEnd(t *testing.T) {
+	s, err := NewSystem(smallCfg(), dram.DefaultConfig(), idxSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Img.AllocWords(64)
+	for i := 0; i < 64; i++ {
+		s.Img.W64(base+uint64(i)*8, uint64(i*i))
+	}
+	s.Cache.SetEnv(0, base)
+
+	for i := 0; i < 20; i++ {
+		key := uint64(i % 10)
+		s.Cache.Ctrl.ReqQ.MustPush(ctrl.MetaReq{
+			ID: uint64(i), Op: ctrl.MetaLoad, Key: Key{key, 0}, Issued: s.K.Cycle()})
+		var resp ctrl.MetaResp
+		if !s.K.RunUntil(func() bool {
+			r, ok := s.Cache.Ctrl.RespQ.Pop()
+			resp = r
+			return ok
+		}, 100000) {
+			t.Fatalf("no response for request %d", i)
+		}
+		if resp.Value != key*key {
+			t.Fatalf("key %d: value %d want %d", key, resp.Value, key*key)
+		}
+	}
+	if !s.Drain(10000) {
+		t.Fatal("system did not drain")
+	}
+	st := s.Snapshot()
+	if st.Ctrl.Hits != 10 || st.Ctrl.Misses != 10 {
+		t.Fatalf("hits=%d misses=%d", st.Ctrl.Hits, st.Ctrl.Misses)
+	}
+	if st.Energy.OnChip() <= 0 {
+		t.Fatal("no energy recorded")
+	}
+	if st.DRAM.Reads != 10 {
+		t.Fatalf("dram reads %d", st.DRAM.Reads)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		frag   string
+	}{
+		{func(c *Config) { c.Sets = 3 }, "power of two"},
+		{func(c *Config) { c.Sets = 0 }, "power of two"},
+		{func(c *Config) { c.Ways = 0 }, "Ways"},
+		{func(c *Config) { c.WordsPerSector = 0 }, "WordsPerSector"},
+		{func(c *Config) { c.KeyWords = 3 }, "KeyWords"},
+	}
+	for _, tc := range cases {
+		cfg := smallCfg()
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("cfg %+v: err=%v want containing %q", cfg, err, tc.frag)
+		}
+	}
+	if err := smallCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestBuildRejectsBadSpec(t *testing.T) {
+	spec := idxSpec()
+	spec.Transitions[0].Asm = "bogus r1"
+	_, err := NewSystem(smallCfg(), dram.DefaultConfig(), spec)
+	if err == nil || !strings.Contains(err.Error(), "compiling walker") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestTable3DesignPoints(t *testing.T) {
+	cfgs := Table3()
+	if len(cfgs) != 5 {
+		t.Fatalf("%d design points", len(cfgs))
+	}
+	byName := map[string]Config{}
+	for _, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		byName[c.Name] = c
+	}
+	w := byName["Widx"]
+	if w.NumActive != 16 || w.NumExe != 2 || w.Ways != 8 || w.Sets != 1024 || w.WordsPerSector != 4 {
+		t.Fatalf("Widx design point drifted: %+v", w)
+	}
+	g := byName["GraphPulse"]
+	if g.Ways != 1 || g.Sets != 131072 || g.WordsPerSector != 8 {
+		t.Fatalf("GraphPulse design point drifted: %+v", g)
+	}
+	// SpArch and Gamma share a microarchitecture.
+	sp, ga := byName["SpArch"], byName["Gamma"]
+	sp.Name, ga.Name = "", ""
+	if sp != ga {
+		t.Fatalf("SpArch %+v and Gamma %+v must share a microarchitecture", sp, ga)
+	}
+}
+
+func TestScaledKeepsInvariants(t *testing.T) {
+	c := GraphPulseConfig().Scaled(1024)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Sets > 131072/1024+1 {
+		t.Fatalf("not scaled: %d sets", c.Sets)
+	}
+	if c.Ways != 1 || c.WordsPerSector != 8 {
+		t.Fatal("scaling changed non-capacity parameters")
+	}
+}
+
+func TestDefaultSectorProvisioning(t *testing.T) {
+	cfg := smallCfg().withDefaults()
+	if cfg.Sectors != 2*16*2 {
+		t.Fatalf("sectors %d", cfg.Sectors)
+	}
+}

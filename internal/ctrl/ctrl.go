@@ -1,0 +1,790 @@
+// Package ctrl implements X-Cache's programmable cache controller
+// (Fig 8/9). The front-end is an event loop: it monitors the message
+// queues (meta requests from the DSA datapath, DRAM fills, internal
+// events), maps messages to events through the trigger table, and wakes at
+// most one walker per cycle. The back-end is an in-order routine pipeline
+// executing up to #Exe microcode actions per cycle across the in-flight
+// routines. Hits bypass the walkers entirely through a dedicated
+// fully-pipelined port with a 3-cycle load-to-use latency.
+//
+// Walkers are coroutines: a routine runs non-blocking to a terminal action
+// and the walker sleeps until the next event re-wakes it, releasing the
+// pipeline. The package also retains a blocking-thread execution mode used
+// only for the paper's Fig 7 occupancy ablation.
+package ctrl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"xcache/internal/dataram"
+	"xcache/internal/dram"
+	"xcache/internal/energy"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+	"xcache/internal/stats"
+)
+
+// MetaOp is the operation of a meta access.
+type MetaOp uint8
+
+// Meta access operations issued by DSA datapaths.
+const (
+	// MetaLoad requests the element tagged by Key; a miss runs the walker.
+	MetaLoad MetaOp = iota
+	// MetaStore overwrites the element's first data word.
+	MetaStore
+	// MetaStoreMerge accumulates Payload into the element's first data
+	// word (GraphPulse event coalescing), allocating on miss.
+	MetaStoreMerge
+	// MetaStoreMergeMin keeps the minimum of the stored word and Payload
+	// (SSSP-style relaxation coalescing), allocating on miss.
+	MetaStoreMergeMin
+)
+
+// MetaReq is a meta load/store from the datapath.
+type MetaReq struct {
+	ID      uint64
+	Op      MetaOp
+	Key     metatag.Key
+	Payload uint64
+	Issued  sim.Cycle // set by the datapath; used for load-to-use stats
+}
+
+// MetaResp answers a MetaReq.
+type MetaResp struct {
+	ID     uint64
+	Status int    // program.StatusOK or program.StatusNotFound
+	Value  uint64 // scalar result (first data word / walker enqresp value)
+	Words  int    // data words delivered on a block hit
+	Data   []uint64
+}
+
+// ExecMode selects how walkers share the controller pipeline.
+type ExecMode uint8
+
+// Execution modes (§3.3).
+const (
+	// ModeCoroutine multiplexes walkers on the pipeline, yielding at
+	// long-latency events. This is X-Cache's design point.
+	ModeCoroutine ExecMode = iota
+	// ModeThread pins each walker to a hardware pipeline for its whole
+	// lifetime, blocking across DRAM fills (the prior-work baseline of
+	// Fig 7).
+	ModeThread
+)
+
+// Config parameterizes the controller (the Fig 13 generator knobs).
+type Config struct {
+	NumActive int // #Active: concurrent walkers (X-register files)
+	NumExe    int // #Exe: action slots per cycle / thread pipelines
+	NumXRegs  int // registers per walker (default 16)
+
+	MetaQueueDepth int
+	RespQueueDepth int
+	EvQueueDepth   int
+	HitLatency     int // dedicated hit-port load-to-use (default 3)
+	MaxFillWords   int // largest single DRAM fill a routine may request
+
+	Mode      ExecMode
+	Hardwired bool // hardwired-FSM baseline: whole routine in 1 cycle, no µcode fetches
+
+	MaxRoutineSteps int // runaway-microcode guard (default 4096)
+	RespDataWords   int // cap on words copied into MetaResp.Data
+	MaxWaiters      int // merged requests per walker before backpressure
+}
+
+func (c *Config) defaults() {
+	if c.NumActive == 0 {
+		c.NumActive = 8
+	}
+	if c.NumExe == 0 {
+		c.NumExe = 4
+	}
+	if c.NumXRegs == 0 {
+		c.NumXRegs = 16
+	}
+	if c.MetaQueueDepth == 0 {
+		c.MetaQueueDepth = 16
+	}
+	if c.RespQueueDepth == 0 {
+		c.RespQueueDepth = 64
+	}
+	if c.EvQueueDepth == 0 {
+		c.EvQueueDepth = 64
+	}
+	if c.HitLatency == 0 {
+		c.HitLatency = 3
+	}
+	if c.MaxFillWords == 0 {
+		c.MaxFillWords = 8
+	}
+	if c.MaxRoutineSteps == 0 {
+		c.MaxRoutineSteps = 4096
+	}
+	if c.RespDataWords == 0 {
+		c.RespDataWords = 16
+	}
+	if c.MaxWaiters == 0 {
+		c.MaxWaiters = 8
+	}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Loads, Stores    uint64
+	Hits, Misses     uint64 // stable-entry hits vs walker spawns+merges
+	MergedWaiters    uint64
+	NotFound         uint64
+	Responses        uint64
+	WalkerSpawns     uint64
+	RoutineRuns      uint64
+	Actions          uint64
+	FillsIssued      uint64
+	WritebacksIssued uint64
+	AllocRetries     uint64 // allocM conflicts pushed back to replay
+	MaxFillsInFlight int    // high-water mark of outstanding DRAM fills
+	StallCycles      uint64 // backend cycles lost to full queues
+
+	// Load-to-use accounting (request issue → response push).
+	L2USum, L2UCount, L2UMax uint64
+	HitL2USum, HitL2UCount   uint64
+	L2UHist                  stats.Histogram
+
+	// Occupancy (Fig 7): Σ live-register-bytes × cycles.
+	OccupancyByteCycles uint64
+}
+
+// AvgLoadToUse returns mean cycles from issue to response.
+func (s Stats) AvgLoadToUse() float64 {
+	if s.L2UCount == 0 {
+		return 0
+	}
+	return float64(s.L2USum) / float64(s.L2UCount)
+}
+
+// AvgHitLoadToUse returns the mean load-to-use over stable hits only.
+func (s Stats) AvgHitLoadToUse() float64 {
+	if s.HitL2UCount == 0 {
+		return 0
+	}
+	return float64(s.HitL2USum) / float64(s.HitL2UCount)
+}
+
+// HitRate returns hits / (hits + misses).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+const (
+	wbIDFlag = uint64(1) << 63 // DRAM request id flag: eviction writeback
+)
+
+// message is a pending wakeup for a walker.
+type message struct {
+	event int
+	addr  uint64
+	data  []uint64
+}
+
+type walker struct {
+	active   bool
+	id       int32
+	key      metatag.Key
+	state    int
+	entry    *metatag.Entry
+	regs     []uint64
+	liveMask uint32 // registers holding values right now
+	persist  uint32 // allocr-marked registers that survive yields
+	origin   MetaReq
+	waiters  []MetaReq
+	msg      message
+	pending  []message
+	running  bool
+	fills    int // outstanding DRAM fills for this walker
+	spawned  sim.Cycle
+	isStore  bool
+	pipeline int32 // thread mode: pipeline index, else -1
+}
+
+type run struct {
+	walker int32
+	start  int32
+	pc     int32
+	steps  int
+}
+
+type hitJob struct {
+	readyAt sim.Cycle
+	resp    MetaResp
+}
+
+// Controller is the programmable X-Cache controller.
+type Controller struct {
+	Cfg  Config
+	Prog *program.Program
+
+	Tags *metatag.Array
+	Data *dataram.RAM
+
+	// Datapath-facing queues.
+	ReqQ  *sim.Queue[MetaReq]
+	RespQ *sim.Queue[MetaResp]
+
+	// Memory-side queues (owned by the DRAM model or a lower cache level).
+	MemReq  *sim.Queue[dram.Request]
+	MemResp *sim.Queue[dram.Response]
+
+	evq    *sim.Queue[message] // internal events; message.addr carries walker id
+	replay []MetaReq
+
+	env      [16]uint64
+	walkers  []walker
+	freeW    []int32
+	inflight []run
+	hitPipe  []hitJob
+	hitAvail int     // banked hit-port word budget (refreshed per cycle)
+	pipes    []int32 // thread mode: pipeline -> walker or -1
+
+	Meter *energy.Counters
+	stats Stats
+
+	outstandingFills int
+}
+
+// New wires a controller. memReq/memResp connect it to DRAM (or a lower
+// level); tags and data are the RAM arrays it manages.
+func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
+	data *dataram.RAM, memReq *sim.Queue[dram.Request], memResp *sim.Queue[dram.Response],
+	meter *energy.Counters) *Controller {
+
+	cfg.defaults()
+	c := &Controller{
+		Cfg:     cfg,
+		Prog:    prog,
+		Tags:    tags,
+		Data:    data,
+		MemReq:  memReq,
+		MemResp: memResp,
+		Meter:   meter,
+		ReqQ:    sim.NewQueue[MetaReq](k, "xc.req", cfg.MetaQueueDepth),
+		RespQ:   sim.NewQueue[MetaResp](k, "xc.resp", cfg.RespQueueDepth),
+		evq:     sim.NewQueue[message](k, "xc.evq", cfg.EvQueueDepth),
+	}
+	c.walkers = make([]walker, cfg.NumActive)
+	for i := range c.walkers {
+		c.walkers[i] = walker{id: int32(i), regs: make([]uint64, cfg.NumXRegs), pipeline: -1}
+		c.freeW = append(c.freeW, int32(i))
+	}
+	c.pipes = make([]int32, cfg.NumExe)
+	for i := range c.pipes {
+		c.pipes[i] = -1
+	}
+	k.Add(c)
+	return c
+}
+
+// SetEnv installs a DSA-specific environment operand (lde source).
+func (c *Controller) SetEnv(i int, v uint64) { c.env[i] = v }
+
+// Stats returns a copy of the controller statistics.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Idle reports whether no walkers, routines, queued work or hit returns
+// remain.
+func (c *Controller) Idle() bool {
+	return len(c.inflight) == 0 && len(c.replay) == 0 && len(c.hitPipe) == 0 &&
+		c.ReqQ.Len() == 0 && c.evq.Len() == 0 && c.outstandingFills == 0 &&
+		len(c.freeW) == len(c.walkers)
+}
+
+// Tick implements sim.Component.
+func (c *Controller) Tick(cy sim.Cycle) {
+	c.drainHitPipe(cy)
+	c.acceptFills(cy)
+	c.frontend(cy)
+	c.backend(cy)
+	c.accumulateOccupancy()
+}
+
+func (c *Controller) drainHitPipe(cy sim.Cycle) {
+	keep := c.hitPipe[:0]
+	for _, h := range c.hitPipe {
+		if h.readyAt <= cy && c.RespQ.CanPush() {
+			c.RespQ.MustPush(h.resp)
+			c.stats.Responses++
+			continue
+		}
+		keep = append(keep, h)
+	}
+	c.hitPipe = keep
+}
+
+// acceptFills pops DRAM responses and routes them to walkers' pending
+// message lists (writeback acks are discarded).
+func (c *Controller) acceptFills(cy sim.Cycle) {
+	for {
+		resp, ok := c.MemResp.Peek()
+		if !ok {
+			break
+		}
+		if resp.ID&wbIDFlag != 0 {
+			c.MemResp.Pop()
+			continue
+		}
+		wid := int32(resp.ID & 0xffffffff)
+		w := &c.walkers[wid]
+		if !w.active {
+			panic(fmt.Sprintf("ctrl: fill for inactive walker %d", wid))
+		}
+		c.MemResp.Pop()
+		c.outstandingFills--
+		w.fills--
+		if c.Meter != nil {
+			c.Meter.QueueBytes += uint64(len(resp.Data)) * 8
+		}
+		w.pending = append(w.pending, message{event: program.EvFill, addr: resp.Addr, data: resp.Data})
+	}
+}
+
+// frontend processes up to #Exe front-end slots per cycle: walker
+// wake-ups (DRAM fills, internal events) and meta-request admissions
+// (hit serves, waiter merges, walker spawns). The trigger/decode stage is
+// replicated per executor lane, so #Exe is a genuine throughput knob —
+// the behaviour Fig 18 sweeps.
+func (c *Controller) frontend(cy sim.Cycle) {
+	budget := c.Cfg.NumExe
+
+	// Refresh the banked hit-port word budget (debt from multi-sector
+	// returns carries over and blocks later cycles).
+	c.hitAvail += c.Data.Cfg.Banks
+	if c.hitAvail > c.Data.Cfg.Banks {
+		c.hitAvail = c.Data.Cfg.Banks
+	}
+
+	// 1. Deliver pending messages (DRAM fills, stashed events) to idle
+	// walkers.
+	for i := range c.walkers {
+		if budget == 0 {
+			return
+		}
+		w := &c.walkers[i]
+		if !w.active || w.running || len(w.pending) == 0 {
+			continue
+		}
+		w.msg = w.pending[0]
+		w.pending = w.pending[1:]
+		c.fire(w, w.msg.event)
+		budget--
+	}
+
+	// 2. Internal event queue.
+	for budget > 0 {
+		m, ok := c.evq.Peek()
+		if !ok {
+			break
+		}
+		w := &c.walkers[int32(m.addr)]
+		c.evq.Pop()
+		if !w.active {
+			continue
+		}
+		if w.running {
+			w.pending = append(w.pending, m)
+			continue
+		}
+		w.msg = m
+		c.fire(w, m.event)
+		budget--
+	}
+
+	// 3. Meta requests: replay queue first (completed walkers' waiters),
+	// then the datapath queue.
+	for budget > 0 {
+		var req MetaReq
+		var fromReplay bool
+		if len(c.replay) > 0 {
+			req, fromReplay = c.replay[0], true
+		} else if r, ok := c.ReqQ.Peek(); ok {
+			req = r
+		} else {
+			return
+		}
+
+		entry := c.Tags.Probe(req.Key)
+		if entry != nil && entry.State == program.StateValid {
+			if !c.serveHit(cy, req, entry) {
+				return // hit port saturated this cycle
+			}
+			c.Tags.Account(true)
+			c.consumeReq(fromReplay)
+			budget--
+			continue
+		}
+		if entry != nil {
+			if !c.merge(&c.walkers[entry.Walker], req, fromReplay) {
+				return // waiter list full: backpressure
+			}
+			c.Tags.Account(true)
+			budget--
+			continue
+		}
+		// Active meta-tag bitmap (§4.1 y1): a walker may be live for this
+		// key before its allocm has executed; merge, don't duplicate.
+		merged := false
+		for i := range c.walkers {
+			w := &c.walkers[i]
+			if w.active && c.keyEq(w.key, req.Key) {
+				if !c.merge(w, req, fromReplay) {
+					return
+				}
+				merged = true
+				break
+			}
+		}
+		if merged {
+			budget--
+			continue
+		}
+
+		// Miss: spawn a walker.
+		if len(c.freeW) == 0 {
+			return
+		}
+		if c.Cfg.Mode == ModeThread && c.freePipe() < 0 {
+			return
+		}
+		c.Tags.Account(false)
+		c.consumeReq(fromReplay)
+		c.spawn(cy, req)
+		budget--
+	}
+}
+
+func (c *Controller) keyEq(a, b metatag.Key) bool {
+	if a[0] != b[0] {
+		return false
+	}
+	return c.Tags.Cfg.KeyWords < 2 || a[1] == b[1]
+}
+
+// merge parks a request behind the walker already handling its key.
+func (c *Controller) merge(w *walker, req MetaReq, fromReplay bool) bool {
+	if len(w.waiters) >= c.Cfg.MaxWaiters {
+		return false // backpressure
+	}
+	w.waiters = append(w.waiters, req)
+	c.stats.MergedWaiters++
+	c.consumeReq(fromReplay)
+	return true
+}
+
+func (c *Controller) consumeReq(fromReplay bool) {
+	if fromReplay {
+		c.replay = c.replay[1:]
+	} else {
+		c.ReqQ.Pop()
+	}
+}
+
+func (c *Controller) freePipe() int32 {
+	for i, w := range c.pipes {
+		if w < 0 {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// serveHit runs the dedicated hit port: meta-tag hit, data sectors
+// pipelined out through the crossbar. Returns false when the data port is
+// still busy with a prior multi-sector return.
+func (c *Controller) serveHit(cy sim.Cycle, req MetaReq, entry *metatag.Entry) bool {
+	if c.hitAvail < 1 {
+		return false
+	}
+	c.Tags.Touch(entry)
+	c.stats.Hits++
+	words := int(entry.SectorCount) * c.Data.Cfg.WordsPerSector
+	resp := MetaResp{ID: req.ID, Status: program.StatusOK, Words: words}
+	base := c.Data.SectorWordBase(entry.SectorBase)
+	switch req.Op {
+	case MetaLoad:
+		c.stats.Loads++
+		if words > 0 {
+			// Every delivered word streams out of the banked data RAM;
+			// Read charges energy per word. Words beyond the functional
+			// snapshot cap are charged without being copied.
+			keep := words
+			if keep > c.Cfg.RespDataWords {
+				keep = c.Cfg.RespDataWords
+			}
+			resp.Data = make([]uint64, keep)
+			for i := 0; i < keep; i++ {
+				resp.Data[i] = c.Data.Read(base + int32(i))
+			}
+			resp.Value = resp.Data[0]
+			if c.Meter != nil && words > keep {
+				c.Meter.DataBytes += uint64(words-keep) * 8
+			}
+		}
+	case MetaStore:
+		c.stats.Stores++
+		c.Data.Write(base, req.Payload)
+		entry.Dirty = true
+		resp.Value = req.Payload
+	case MetaStoreMerge:
+		c.stats.Stores++
+		old := c.Data.Read(base)
+		c.Data.Write(base, old+req.Payload)
+		entry.Dirty = true
+		resp.Value = old + req.Payload
+		if c.Meter != nil {
+			c.Meter.AddOps++
+		}
+	case MetaStoreMergeMin:
+		c.stats.Stores++
+		old := c.Data.Read(base)
+		v := old
+		if req.Payload < v {
+			v = req.Payload
+			c.Data.Write(base, v)
+			entry.Dirty = true
+		}
+		resp.Value = v
+		if c.Meter != nil {
+			c.Meter.BitOps++ // comparator
+		}
+	}
+	banks := c.Data.Cfg.Banks
+	occ := (words + banks - 1) / banks
+	if occ < 1 {
+		occ = 1
+	}
+	cost := words
+	if req.Op != MetaLoad {
+		cost = 1 // stores/merges touch one word
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	c.hitAvail -= cost
+	ready := cy + sim.Cycle(c.Cfg.HitLatency+occ-1)
+	c.hitPipe = append(c.hitPipe, hitJob{readyAt: ready, resp: resp})
+	c.noteLatency(req, ready, true)
+	return true
+}
+
+func (c *Controller) noteLatency(req MetaReq, done sim.Cycle, hit bool) {
+	l := uint64(done - req.Issued)
+	c.stats.L2UHist.Add(l)
+	c.stats.L2USum += l
+	c.stats.L2UCount++
+	if l > c.stats.L2UMax {
+		c.stats.L2UMax = l
+	}
+	if hit {
+		c.stats.HitL2USum += l
+		c.stats.HitL2UCount++
+	}
+}
+
+// spawn allocates a walker context for a missing key and fires the
+// (Default, MetaLoad/MetaStore) routine.
+func (c *Controller) spawn(cy sim.Cycle, req MetaReq) {
+	wid := c.freeW[len(c.freeW)-1]
+	c.freeW = c.freeW[:len(c.freeW)-1]
+	w := &c.walkers[wid]
+	*w = walker{
+		id: wid, active: true, key: req.Key, state: program.StateInvalid,
+		regs: w.regs, origin: req, spawned: cy, pipeline: -1,
+		isStore: req.Op != MetaLoad,
+	}
+	for i := range w.regs {
+		w.regs[i] = 0
+	}
+	// Spawn conventions: r0 = payload, r1/r2 = key words.
+	w.regs[0], w.regs[1], w.regs[2] = req.Payload, req.Key[0], req.Key[1]
+	w.liveMask = 0b111
+	if c.Meter != nil {
+		c.Meter.RegBitsWritten += 3 * 64
+	}
+	if c.Cfg.Mode == ModeThread {
+		p := c.freePipe()
+		w.pipeline = p
+		c.pipes[p] = wid
+	}
+	c.stats.Misses++
+	c.stats.WalkerSpawns++
+	if req.Op == MetaLoad {
+		c.stats.Loads++
+	} else {
+		c.stats.Stores++
+	}
+	ev := program.EvMetaLoad
+	if req.Op != MetaLoad {
+		ev = program.EvMetaStore
+	}
+	c.fire(w, ev)
+}
+
+// fire starts the routine for (walker.state, event).
+func (c *Controller) fire(w *walker, event int) {
+	pc, ok := c.Prog.Lookup(w.state, event)
+	if !ok {
+		panic(fmt.Sprintf("ctrl: program %s has no transition (%s, %s)",
+			c.Prog.Name, c.Prog.StateNames[w.state], c.Prog.EventNames[event]))
+	}
+	w.running = true
+	c.stats.RoutineRuns++
+	c.inflight = append(c.inflight, run{walker: w.id, start: pc, pc: pc})
+}
+
+// backend executes up to #Exe actions across in-flight routines.
+func (c *Controller) backend(cy sim.Cycle) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	slots := c.Cfg.NumExe
+	keep := c.inflight[:0]
+	stalled := false
+	for idx := 0; idx < len(c.inflight); idx++ {
+		r := &c.inflight[idx]
+		status := stepAgain
+		for status == stepAgain {
+			if !c.Cfg.Hardwired {
+				if slots == 0 {
+					break
+				}
+				slots--
+			}
+			status = c.step(cy, r)
+		}
+		if status == stepStall && !stalled {
+			c.stats.StallCycles++
+			stalled = true
+		}
+		if status != stepDone {
+			keep = append(keep, *r)
+		}
+		if slots == 0 && !c.Cfg.Hardwired {
+			keep = append(keep, c.inflight[idx+1:]...)
+			break
+		}
+	}
+	c.inflight = keep
+}
+
+// accumulateOccupancy integrates the Fig 7 metric: #active-reg ×
+// size-bytes × lifetime-cycles. Threads allocate at coarse granularity —
+// every thread context (full register file plus pipeline latches) is
+// provisioned for as long as the controller has work, exactly the
+// prior-work designs §3.3 critiques. Coroutines hold only the X-registers
+// a walker has actually made live, only while that walker exists.
+func (c *Controller) accumulateOccupancy() {
+	if c.Cfg.Mode == ModeThread {
+		busy := len(c.freeW) < len(c.walkers) || len(c.inflight) > 0 ||
+			c.ReqQ.Len() > 0 || len(c.replay) > 0
+		if busy {
+			ctx := uint64(c.Cfg.NumXRegs)*8 + 192
+			c.stats.OccupancyByteCycles += uint64(len(c.walkers)) * ctx
+		}
+		return
+	}
+	for i := range c.walkers {
+		w := &c.walkers[i]
+		if !w.active {
+			continue
+		}
+		c.stats.OccupancyByteCycles += uint64(bits.OnesCount32(w.liveMask)) * 8
+	}
+}
+
+// finish releases a walker: waiters replay (they will now hit or respawn),
+// thread pipelines free, context returns to the pool.
+func (c *Controller) finish(w *walker, notFound bool) {
+	if w.fills != 0 || len(w.pending) != 0 {
+		panic(fmt.Sprintf("ctrl: walker %d finished with %d outstanding fills and %d pending messages (walker spec bug)",
+			w.id, w.fills, len(w.pending)))
+	}
+	for _, waiter := range w.waiters {
+		if notFound {
+			if c.RespQ.Push(MetaResp{ID: waiter.ID, Status: program.StatusNotFound}) {
+				c.stats.Responses++
+				c.stats.NotFound++
+				continue
+			}
+		}
+		c.replay = append(c.replay, waiter)
+	}
+	w.waiters = nil
+	w.pending = nil
+	w.active = false
+	w.running = false
+	if w.pipeline >= 0 {
+		c.pipes[w.pipeline] = -1
+		w.pipeline = -1
+	}
+	c.freeW = append(c.freeW, w.id)
+}
+
+// setState moves the walker (and its entry, if allocated) to state s.
+func (c *Controller) setState(w *walker, s int) {
+	w.state = s
+	if w.entry != nil {
+		w.entry.State = s
+		c.Tags.Update()
+	}
+}
+
+// Drained is one entry removed by DrainStable.
+type Drained struct {
+	Key   metatag.Key
+	Value uint64 // first data word of the entry
+}
+
+// DrainStable removes every stable (Valid, walker-free) entry, invoking fn
+// with its key and first data word, freeing its sectors, and charging the
+// data-RAM read and tag write. GraphPulse uses this to pop its coalesced
+// events between supersteps.
+func (c *Controller) DrainStable(fn func(Drained)) int {
+	n := 0
+	c.Tags.ForEach(func(e *metatag.Entry) {
+		if e.Walker != metatag.NoWalker || e.State != program.StateValid {
+			return
+		}
+		var v uint64
+		if e.SectorCount > 0 {
+			v = c.Data.Read(c.Data.SectorWordBase(e.SectorBase))
+			c.Data.Free(e.SectorBase, e.SectorCount)
+		}
+		if fn != nil {
+			fn(Drained{Key: e.Key, Value: v})
+		}
+		c.Tags.Dealloc(e)
+		n++
+	})
+	return n
+}
+
+// FlushStable invalidates every stable entry without reading it (DASX's
+// end-of-round object-cache reload). Dirty data is dropped; DASX caches
+// read-only index objects.
+func (c *Controller) FlushStable() int {
+	n := 0
+	c.Tags.ForEach(func(e *metatag.Entry) {
+		if e.Walker != metatag.NoWalker || e.State != program.StateValid {
+			return
+		}
+		if e.SectorCount > 0 {
+			c.Data.Free(e.SectorBase, e.SectorCount)
+		}
+		c.Tags.Dealloc(e)
+		n++
+	})
+	return n
+}

@@ -1,0 +1,416 @@
+package ctrl
+
+import (
+	"fmt"
+
+	"xcache/internal/dram"
+	"xcache/internal/isa"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+type stepStatus uint8
+
+const (
+	stepAgain stepStatus = iota // action retired, routine continues
+	stepStall                   // structural hazard (full queue); retry next cycle
+	stepDone                    // routine ended (terminal action or walker freed)
+)
+
+// step executes the single action at r.pc. The executor is in-order and
+// non-blocking: the only way a routine waits is a structural stall on a
+// full queue.
+func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
+	w := &c.walkers[r.walker]
+	in := c.Prog.Code[r.pc]
+	r.steps++
+	if r.steps > c.Cfg.MaxRoutineSteps {
+		panic(fmt.Sprintf("ctrl: routine at %d exceeded %d steps (runaway microcode in %s)",
+			r.start, c.Cfg.MaxRoutineSteps, c.Prog.Name))
+	}
+
+	// Microcode fetch energy (hardwired baselines have no routine RAM).
+	if c.Meter != nil && !c.Cfg.Hardwired {
+		c.Meter.RtnBytes += isa.WordBytes
+	}
+	c.stats.Actions++
+
+	reg := func(i uint8) uint64 {
+		if int(i) >= len(w.regs) {
+			panic(fmt.Sprintf("ctrl: r%d out of range (%d X-registers)", i, len(w.regs)))
+		}
+		return w.regs[i]
+	}
+	setReg := func(i uint8, v uint64) {
+		if int(i) >= len(w.regs) {
+			panic(fmt.Sprintf("ctrl: r%d out of range (%d X-registers)", i, len(w.regs)))
+		}
+		w.regs[i] = v
+		w.liveMask |= 1 << i
+		if c.Meter != nil {
+			c.Meter.RegBitsWritten += 64
+		}
+	}
+	branch := func(taken bool) {
+		if c.Meter != nil {
+			c.Meter.BitOps++
+		}
+		if taken {
+			r.pc = r.start + in.Imm
+		} else {
+			r.pc++
+		}
+	}
+
+	switch in.Op {
+	// ---- AGEN ----
+	case isa.OpAdd:
+		c.chargeALU(1, 0, 0, 0)
+		setReg(in.Dst, reg(in.A)+reg(in.B))
+	case isa.OpAddi:
+		c.chargeALU(1, 0, 0, 0)
+		setReg(in.Dst, reg(in.A)+uint64(int64(in.Imm)))
+	case isa.OpInc:
+		c.chargeALU(1, 0, 0, 0)
+		setReg(in.Dst, reg(in.Dst)+1)
+	case isa.OpDec:
+		c.chargeALU(1, 0, 0, 0)
+		setReg(in.Dst, reg(in.Dst)-1)
+	case isa.OpAnd:
+		c.chargeALU(0, 0, 1, 0)
+		setReg(in.Dst, reg(in.A)&reg(in.B))
+	case isa.OpOr:
+		c.chargeALU(0, 0, 1, 0)
+		setReg(in.Dst, reg(in.A)|reg(in.B))
+	case isa.OpXor:
+		c.chargeALU(0, 0, 1, 0)
+		setReg(in.Dst, reg(in.A)^reg(in.B))
+	case isa.OpNot:
+		c.chargeALU(0, 0, 1, 0)
+		setReg(in.Dst, ^reg(in.A))
+	case isa.OpShl:
+		c.chargeALU(0, 0, 0, 1)
+		setReg(in.Dst, reg(in.A)<<uint(in.Imm&63))
+	case isa.OpShr, isa.OpSrl:
+		c.chargeALU(0, 0, 0, 1)
+		setReg(in.Dst, reg(in.A)>>uint(in.Imm&63))
+	case isa.OpSra:
+		c.chargeALU(0, 0, 0, 1)
+		setReg(in.Dst, uint64(int64(reg(in.A))>>uint(in.Imm&63)))
+	case isa.OpMul:
+		c.chargeALU(0, 1, 0, 0)
+		setReg(in.Dst, reg(in.A)*reg(in.B))
+	case isa.OpLi:
+		setReg(in.Dst, uint64(int64(in.Imm)))
+	case isa.OpMov:
+		setReg(in.Dst, reg(in.A))
+	case isa.OpLde:
+		setReg(in.Dst, c.env[in.Imm&15])
+	case isa.OpAllocR:
+		// allocR marks a register as walker state that must survive
+		// yields (§4.2: "routines allocate temporary X-register to store
+		// the access key and the address of the DRAM refill being waited
+		// on"). Unmarked registers are pipeline temporaries and are
+		// cleared when the routine yields.
+		w.persist |= 1 << in.Dst
+		w.liveMask |= 1 << in.Dst
+
+	// ---- Queues ----
+	case isa.OpEnqFill, isa.OpEnqFillI:
+		words := int(uint64(in.Imm))
+		if in.Op == isa.OpEnqFill {
+			words = int(reg(in.A))
+		}
+		if words <= 0 || words > c.Cfg.MaxFillWords {
+			panic(fmt.Sprintf("ctrl: fill of %d words (MaxFillWords=%d)", words, c.Cfg.MaxFillWords))
+		}
+		if !c.MemReq.CanPush() {
+			return stepStall
+		}
+		c.MemReq.MustPush(dram.Request{ID: uint64(w.id), Addr: reg(in.Dst), Words: words})
+		c.outstandingFills++
+		w.fills++
+		c.stats.FillsIssued++
+		if c.outstandingFills > c.stats.MaxFillsInFlight {
+			c.stats.MaxFillsInFlight = c.outstandingFills
+		}
+		if c.Meter != nil {
+			c.Meter.QueueBytes += 16
+			c.Meter.DRAMAccesses++
+			c.Meter.DRAMBytes += uint64(words) * 8
+		}
+	case isa.OpEnqWb:
+		if !c.MemReq.CanPush() {
+			return stepStall
+		}
+		words := int(in.Imm)
+		base := int32(reg(in.A))
+		data := make([]uint64, words)
+		for i := range data {
+			data[i] = c.Data.Read(base + int32(i))
+		}
+		c.MemReq.MustPush(dram.Request{ID: wbIDFlag | uint64(w.id), Addr: reg(in.Dst),
+			Words: words, Write: true, Data: data})
+		c.stats.WritebacksIssued++
+		if c.Meter != nil {
+			c.Meter.QueueBytes += 16
+			c.Meter.DRAMAccesses++
+			c.Meter.DRAMBytes += uint64(words) * 8
+		}
+	case isa.OpEnqResp:
+		if !c.RespQ.CanPush() {
+			return stepStall
+		}
+		resp := MetaResp{ID: w.origin.ID, Status: int(in.Imm), Value: reg(in.Dst)}
+		if resp.Status == program.StatusOK && w.entry != nil {
+			resp.Words = int(w.entry.SectorCount) * c.Data.Cfg.WordsPerSector
+			// The refilled sectors stream to the datapath through the
+			// data port, exactly like a hit return.
+			if resp.Words > 0 {
+				keep := resp.Words
+				if keep > c.Cfg.RespDataWords {
+					keep = c.Cfg.RespDataWords
+				}
+				resp.Data = c.Data.ReadRun(w.entry.SectorBase, keep)
+				if c.Meter != nil && resp.Words > keep {
+					c.Meter.DataBytes += uint64(resp.Words-keep) * 8
+				}
+			}
+		}
+		if resp.Status == program.StatusNotFound {
+			c.stats.NotFound++
+		}
+		c.RespQ.MustPush(resp)
+		c.stats.Responses++
+		c.noteLatency(w.origin, cy, false)
+		if c.Meter != nil {
+			c.Meter.QueueBytes += 16
+		}
+	case isa.OpEnqEv:
+		if !c.evq.CanPush() {
+			return stepStall
+		}
+		c.evq.MustPush(message{event: int(in.Imm), addr: uint64(w.id)})
+		if c.Meter != nil {
+			c.Meter.QueueBytes += 8
+		}
+	case isa.OpPeek:
+		switch in.Imm {
+		case -1:
+			setReg(in.Dst, w.msg.addr)
+		case -2:
+			setReg(in.Dst, uint64(len(w.msg.data)))
+		default:
+			if int(in.Imm) >= len(w.msg.data) {
+				panic(fmt.Sprintf("ctrl: peek %d beyond %d-word message", in.Imm, len(w.msg.data)))
+			}
+			setReg(in.Dst, w.msg.data[in.Imm])
+		}
+	case isa.OpDeq:
+		// The front-end consumed the message at wake; explicit deq is an
+		// accounting no-op retained for spec fidelity.
+
+	// ---- Meta-tags ----
+	case isa.OpAllocM:
+		if !c.MemReq.CanPush() {
+			return stepStall // a dirty victim may need a writeback slot
+		}
+		entry, ev, ok := c.Tags.Alloc(w.key, w.state, w.id)
+		if !ok {
+			// Every way transient: hand the request back and retire the
+			// walker; the replay path re-probes once a conflicting walker
+			// settles.
+			c.stats.AllocRetries++
+			c.replay = append(c.replay, w.origin)
+			c.finish(w, false)
+			return stepDone
+		}
+		w.entry = entry
+		c.reclaim(ev)
+	case isa.OpDeallocM:
+		if w.entry != nil {
+			if w.entry.SectorCount > 0 {
+				c.Data.Free(w.entry.SectorBase, w.entry.SectorCount)
+			}
+			c.Tags.Dealloc(w.entry)
+			w.entry = nil
+		}
+	case isa.OpUpdate:
+		if w.entry == nil {
+			panic("ctrl: update with no meta-tag entry (missing allocm)")
+		}
+		wlen := int32(c.Data.Cfg.WordsPerSector)
+		base := int32(reg(in.Dst))
+		if base%wlen != 0 {
+			panic("ctrl: update base not sector aligned")
+		}
+		w.entry.SectorBase = base / wlen
+		w.entry.SectorCount = int32(reg(in.A))
+		c.Tags.Update()
+	case isa.OpState:
+		c.setState(w, int(in.Imm))
+		w.running = false
+		// Yield: only allocr-marked registers survive; scratch registers
+		// are freed (and cleared, so specs cannot silently rely on them).
+		for i := range w.regs {
+			if w.persist&(1<<uint(i)) == 0 {
+				w.regs[i] = 0
+			}
+		}
+		w.liveMask = w.persist
+		return stepDone
+	case isa.OpHalt:
+		c.setState(w, int(in.Imm))
+		if w.entry != nil {
+			w.entry.Walker = int32(-1)
+			if w.isStore {
+				w.entry.Dirty = true
+			}
+		}
+		c.finish(w, false)
+		return stepDone
+	case isa.OpAbort:
+		if w.entry != nil {
+			if w.entry.SectorCount > 0 {
+				c.Data.Free(w.entry.SectorBase, w.entry.SectorCount)
+			}
+			c.Tags.Dealloc(w.entry)
+			w.entry = nil
+		}
+		c.finish(w, true)
+		return stepDone
+
+	// ---- Control ----
+	case isa.OpBmiss:
+		branch(w.entry == nil || w.entry.State != program.StateValid)
+		return stepAgain
+	case isa.OpBhit:
+		branch(w.entry != nil && w.entry.State == program.StateValid)
+		return stepAgain
+	case isa.OpBeq:
+		branch(reg(in.Dst) == reg(in.A))
+		return stepAgain
+	case isa.OpBnz:
+		branch(reg(in.Dst) != 0)
+		return stepAgain
+	case isa.OpBlt:
+		branch(int64(reg(in.Dst)) < int64(reg(in.A)))
+		return stepAgain
+	case isa.OpBge:
+		branch(int64(reg(in.Dst)) >= int64(reg(in.A)))
+		return stepAgain
+	case isa.OpBle:
+		branch(int64(reg(in.Dst)) <= int64(reg(in.A)))
+		return stepAgain
+	case isa.OpJmp:
+		branch(true)
+		return stepAgain
+
+	// ---- Data RAM ----
+	case isa.OpAllocD, isa.OpAllocDI:
+		n := int(in.Imm)
+		if in.Op == isa.OpAllocD {
+			n = int(reg(in.A))
+		}
+		if n <= 0 {
+			panic(fmt.Sprintf("ctrl: allocd of %d sectors", n))
+		}
+		base, ok := c.Data.Alloc(n)
+		if !ok {
+			if !c.MemReq.CanPush() {
+				return stepStall
+			}
+			if !c.makeRoom(n) {
+				// Capacity exhausted by transient entries: retire and
+				// replay, as with allocm conflicts.
+				c.stats.AllocRetries++
+				if w.entry != nil {
+					c.Tags.Dealloc(w.entry)
+					w.entry = nil
+				}
+				c.replay = append(c.replay, w.origin)
+				c.finish(w, false)
+				return stepDone
+			}
+			return stepStall // retry the allocation next cycle
+		}
+		setReg(in.Dst, uint64(c.Data.SectorWordBase(base)))
+	case isa.OpDeallocD:
+		if w.entry != nil && w.entry.SectorCount > 0 {
+			c.Data.Free(w.entry.SectorBase, w.entry.SectorCount)
+			w.entry.SectorBase, w.entry.SectorCount = 0, 0
+		}
+	case isa.OpReadD:
+		setReg(in.Dst, c.Data.Read(int32(reg(in.A))))
+	case isa.OpWriteD:
+		c.Data.Write(int32(reg(in.Dst)), reg(in.A))
+
+	default:
+		panic(fmt.Sprintf("ctrl: unimplemented op %s", in.Op.Name()))
+	}
+	r.pc++
+	return stepAgain
+}
+
+func (c *Controller) chargeALU(add, mul, bit, shift uint64) {
+	if c.Meter == nil {
+		return
+	}
+	c.Meter.AddOps += add
+	c.Meter.MulOps += mul
+	c.Meter.BitOps += bit
+	c.Meter.ShiftOps += shift
+}
+
+// reclaim releases an evicted entry's sectors and writes back dirty data.
+// The caller has already guaranteed MemReq space.
+func (c *Controller) reclaim(ev *metatag.Evicted) {
+	if ev == nil {
+		return
+	}
+	if ev.SectorCount > 0 {
+		if ev.Dirty {
+			words := int(ev.SectorCount) * c.Data.Cfg.WordsPerSector
+			base := c.Data.SectorWordBase(ev.SectorBase)
+			data := make([]uint64, words)
+			for i := range data {
+				data[i] = c.Data.Read(base + int32(i))
+			}
+			// Dirty meta data spills to a per-cache victim region keyed by
+			// tag hash; DSAs that need spilled data back re-walk for it.
+			addr := c.spillAddr(ev.Key)
+			c.MemReq.MustPush(dram.Request{ID: wbIDFlag, Addr: addr, Words: words, Write: true, Data: data})
+			c.stats.WritebacksIssued++
+			if c.Meter != nil {
+				c.Meter.DRAMAccesses++
+				c.Meter.DRAMBytes += uint64(words) * 8
+			}
+		}
+		c.Data.Free(ev.SectorBase, ev.SectorCount)
+	}
+}
+
+// makeRoom evicts stable entries until n contiguous sectors could
+// plausibly be freed. It returns false when nothing is evictable.
+func (c *Controller) makeRoom(n int) bool {
+	evicted := false
+	for i := 0; i < 4; i++ {
+		ev, ok := c.Tags.EvictLRUStable()
+		if !ok {
+			return evicted
+		}
+		c.reclaim(ev)
+		evicted = true
+		if c.Data.FreeSectors() >= n*2 {
+			break
+		}
+	}
+	return true
+}
+
+func (c *Controller) spillAddr(k metatag.Key) uint64 {
+	const spillRegion = uint64(0x4000_0000_0000)
+	slot := k.Mix() % (1 << 20)
+	return spillRegion + slot*256
+}

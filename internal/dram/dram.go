@@ -1,0 +1,256 @@
+// Package dram models the off-chip memory the paper attaches through
+// DRAMsim2. It is a bank/row-buffer timing model: requests queue at the
+// channel, banks hold an open row, and service latency is composed from
+// tRCD/tCAS/tRP plus a per-word burst time on a shared data bus. Responses
+// carry real data served from the mem.Image, so cache walkers consume
+// genuine pointer chains and matrix rows.
+package dram
+
+import (
+	"fmt"
+
+	"xcache/internal/mem"
+	"xcache/internal/sim"
+)
+
+// Request is a memory read or write issued by a cache controller.
+type Request struct {
+	ID    uint64   // opaque caller tag, echoed in the Response
+	Addr  uint64   // byte address, word aligned
+	Words int      // number of 8-byte words
+	Write bool     // true for writebacks
+	Data  []uint64 // write payload (len == Words)
+}
+
+// Response completes a Request. Writes are acknowledged with Data nil.
+type Response struct {
+	ID   uint64
+	Addr uint64
+	Data []uint64
+}
+
+// Config sets the channel geometry and timing (in controller cycles).
+type Config struct {
+	Banks        int    // number of banks on the channel
+	RowBytes     uint64 // row-buffer size per bank
+	TRCD         int    // activate → column command
+	TCAS         int    // column command → first data
+	TRP          int    // precharge time (row conflict penalty)
+	TBusPerWord  int    // data-bus cycles per 8-byte word
+	ChannelFixed int    // fixed command/queueing overhead per access
+	QueueDepth   int    // request queue capacity
+	RespDepth    int    // response queue capacity
+	WindowDepth  int    // scheduler window (pending requests considered)
+}
+
+// DefaultConfig models a single DDR-like channel clocked against a 1 GHz
+// controller: a closed-bank random access costs ≈ 40–60 cycles.
+func DefaultConfig() Config {
+	return Config{
+		Banks:        8,
+		RowBytes:     2048,
+		TRCD:         14,
+		TCAS:         14,
+		TRP:          14,
+		TBusPerWord:  1,
+		ChannelFixed: 6,
+		QueueDepth:   64,
+		RespDepth:    64,
+		WindowDepth:  32,
+	}
+}
+
+// Stats aggregates lifetime activity.
+type Stats struct {
+	Reads        uint64
+	Writes       uint64
+	RowHits      uint64
+	RowMisses    uint64 // closed bank or conflict
+	WordsRead    uint64
+	WordsWritten uint64
+	BusBusy      uint64 // cycles the data bus transferred
+	TotalLatency uint64 // sum of (complete - enqueue) over all requests
+}
+
+// Accesses returns total read+write requests served.
+func (s Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// AvgLatency returns the mean request latency in cycles.
+func (s Stats) AvgLatency() float64 {
+	n := s.Accesses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(n)
+}
+
+type bank struct {
+	openRow   int64 // -1 when closed
+	busyUntil sim.Cycle
+}
+
+type pending struct {
+	req      Request
+	arrived  sim.Cycle
+	started  bool
+	complete sim.Cycle
+}
+
+// DRAM is the channel component. Push requests to Req; pop completions
+// from Resp.
+type DRAM struct {
+	Cfg  Config
+	Req  *sim.Queue[Request]
+	Resp *sim.Queue[Response]
+
+	img      *mem.Image
+	banks    []bank
+	window   []*pending
+	busFree  sim.Cycle
+	stats    Stats
+	respHold []Response // completed but response queue was full
+}
+
+// New creates a DRAM channel over the given memory image and registers it
+// with the kernel.
+func New(k *sim.Kernel, cfg Config, img *mem.Image) *DRAM {
+	if cfg.Banks <= 0 || cfg.RowBytes == 0 {
+		panic("dram: invalid geometry")
+	}
+	d := &DRAM{
+		Cfg:   cfg,
+		Req:   sim.NewQueue[Request](k, "dram.req", cfg.QueueDepth),
+		Resp:  sim.NewQueue[Response](k, "dram.resp", cfg.RespDepth),
+		img:   img,
+		banks: make([]bank, cfg.Banks),
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	k.Add(d)
+	return d
+}
+
+// Stats returns a copy of the lifetime statistics.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Pending reports the number of requests admitted but not yet completed.
+func (d *DRAM) Pending() int { return len(d.window) + len(d.respHold) }
+
+// Idle reports whether the channel has no queued or in-flight work.
+func (d *DRAM) Idle() bool {
+	return d.Req.Len() == 0 && len(d.window) == 0 && len(d.respHold) == 0
+}
+
+func (d *DRAM) mapAddr(addr uint64) (bankIdx int, row int64) {
+	rowGlobal := addr / d.Cfg.RowBytes
+	return int(rowGlobal % uint64(d.Cfg.Banks)), int64(rowGlobal / uint64(d.Cfg.Banks))
+}
+
+// Tick implements sim.Component.
+func (d *DRAM) Tick(c sim.Cycle) {
+	// Retry responses that were blocked on a full response queue.
+	for len(d.respHold) > 0 {
+		if !d.Resp.Push(d.respHold[0]) {
+			break
+		}
+		d.respHold = d.respHold[1:]
+	}
+
+	// Admit new requests into the scheduling window.
+	for len(d.window) < d.Cfg.WindowDepth {
+		req, ok := d.Req.Pop()
+		if !ok {
+			break
+		}
+		d.window = append(d.window, &pending{req: req, arrived: c})
+	}
+
+	// Issue: for each idle bank, pick the oldest pending request targeting
+	// it, preferring row hits (FR-FCFS-lite).
+	for bi := range d.banks {
+		b := &d.banks[bi]
+		if b.busyUntil > c {
+			continue
+		}
+		var pick *pending
+		for _, p := range d.window {
+			if p.started {
+				continue
+			}
+			pb, prow := d.mapAddr(p.req.Addr)
+			if pb != bi {
+				continue
+			}
+			if pick == nil {
+				pick = p
+				continue
+			}
+			_, pickRow := d.mapAddr(pick.req.Addr)
+			if prow == b.openRow && pickRow != b.openRow {
+				pick = p
+			}
+		}
+		if pick == nil {
+			continue
+		}
+		_, row := d.mapAddr(pick.req.Addr)
+		lat := d.Cfg.ChannelFixed + d.Cfg.TCAS
+		switch {
+		case b.openRow == row:
+			d.stats.RowHits++
+		case b.openRow == -1:
+			d.stats.RowMisses++
+			lat += d.Cfg.TRCD
+		default:
+			d.stats.RowMisses++
+			lat += d.Cfg.TRP + d.Cfg.TRCD
+		}
+		b.openRow = row
+		burst := pick.req.Words * d.Cfg.TBusPerWord
+		if burst < 1 {
+			burst = 1
+		}
+		// Serialize bursts on the shared data bus.
+		dataStart := c + sim.Cycle(lat)
+		if d.busFree > dataStart {
+			dataStart = d.busFree
+		}
+		d.busFree = dataStart + sim.Cycle(burst)
+		d.stats.BusBusy += uint64(burst)
+		pick.started = true
+		pick.complete = d.busFree
+		b.busyUntil = d.busFree
+	}
+
+	// Complete.
+	remaining := d.window[:0]
+	for _, p := range d.window {
+		if !p.started || p.complete > c {
+			remaining = append(remaining, p)
+			continue
+		}
+		d.finish(p, c)
+	}
+	d.window = remaining
+}
+
+func (d *DRAM) finish(p *pending, c sim.Cycle) {
+	d.stats.TotalLatency += uint64(c - p.arrived)
+	resp := Response{ID: p.req.ID, Addr: p.req.Addr}
+	if p.req.Write {
+		d.stats.Writes++
+		d.stats.WordsWritten += uint64(p.req.Words)
+		if len(p.req.Data) != p.req.Words {
+			panic(fmt.Sprintf("dram: write %#x has %d data words, want %d", p.req.Addr, len(p.req.Data), p.req.Words))
+		}
+		d.img.WriteWords(p.req.Addr, p.req.Data)
+	} else {
+		d.stats.Reads++
+		d.stats.WordsRead += uint64(p.req.Words)
+		resp.Data = d.img.ReadWords(p.req.Addr, p.req.Words)
+	}
+	if !d.Resp.Push(resp) {
+		d.respHold = append(d.respHold, resp)
+	}
+}

@@ -1,0 +1,78 @@
+package btreeidx
+
+import (
+	"testing"
+
+	"xcache/internal/core"
+	"xcache/internal/dram"
+)
+
+func smallWork() Work { return DefaultWork(100) } // 1000 keys, 4000 probes
+
+func smallOpts() Options {
+	return Options{Cfg: Config().Scaled(16), MaxCycles: 20_000_000}
+}
+
+func TestSpecCompiles(t *testing.T) {
+	if _, err := Spec().Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXCacheFunctional(t *testing.T) {
+	r, err := RunXCache(smallWork(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked {
+		t.Fatal("B-tree probe values diverged from the reference descent")
+	}
+	if r.HitRate < 0.3 {
+		t.Fatalf("hit rate %v; Zipf reuse not captured", r.HitRate)
+	}
+}
+
+func TestAddrFunctional(t *testing.T) {
+	r, err := RunAddr(smallWork(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked {
+		t.Fatal("addr variant diverged")
+	}
+}
+
+func TestXCacheBeatsAddrOnTreeDescent(t *testing.T) {
+	w, opt := smallWork(), smallOpts()
+	x, err := RunXCache(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunAddr(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The descent is several dependent node reads; meta-tag hits skip it
+	// entirely, so the deeper the structure the bigger the gap.
+	if x.Cycles >= a.Cycles {
+		t.Errorf("X-Cache (%d cyc) not faster than addr descent (%d cyc)", x.Cycles, a.Cycles)
+	}
+	if x.AvgLoadToUse >= a.AvgLoadToUse {
+		t.Errorf("X-Cache l2u %v not below addr %v", x.AvgLoadToUse, a.AvgLoadToUse)
+	}
+}
+
+func TestSharedControllerAcrossFamilies(t *testing.T) {
+	// The reusability claim: the B-tree walker runs on the same generator
+	// configuration class as the paper's five DSAs (no new hardware).
+	cfg := Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MaxFillWords != 8 {
+		t.Fatal("node fetches need 8-word fills")
+	}
+	if _, err := core.NewSystem(cfg.Scaled(32), dram.DefaultConfig(), Spec()); err != nil {
+		t.Fatal(err)
+	}
+}

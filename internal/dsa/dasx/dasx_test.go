@@ -1,0 +1,81 @@
+package dasx
+
+import (
+	"testing"
+
+	"xcache/internal/core"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/hashidx"
+)
+
+// smallWork uses the skewed string-key profile (TPC-H-19): the regime
+// where index reuse exists for any cache to capture.
+func smallWork() widx.Work {
+	return widx.DefaultWork(hashidx.TPCH()[0], 200) // 1000 keys, 4000 probes
+}
+
+func smallOpts() Options {
+	return Options{Cfg: core.DASXConfig().Scaled(32), MaxCycles: 20_000_000}
+}
+
+func TestXCacheFunctional(t *testing.T) {
+	r, err := RunXCache(smallWork(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked {
+		t.Fatal("functional validation failed")
+	}
+	if r.HitRate <= 0.2 {
+		t.Fatalf("implausible hit rate %v", r.HitRate)
+	}
+}
+
+func TestBaselineFunctionalAndRounds(t *testing.T) {
+	r, err := RunBaseline(smallWork(), smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Checked {
+		t.Fatal("functional validation failed")
+	}
+}
+
+func TestXCacheBeatsBaseline(t *testing.T) {
+	w, opt := smallWork(), smallOpts()
+	x, err := RunXCache(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBaseline(w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Cycles >= b.Cycles {
+		t.Errorf("X-Cache (%d cyc) not faster than DASX baseline (%d cyc)", x.Cycles, b.Cycles)
+	}
+	// The flush-per-round baseline refetches; X-Cache retains reuse.
+	if x.DRAMAccesses >= b.DRAMAccesses {
+		t.Errorf("X-Cache DRAM %d not below baseline %d", x.DRAMAccesses, b.DRAMAccesses)
+	}
+}
+
+func TestPreloadingHidesLatency(t *testing.T) {
+	w := smallWork()
+	w = widx.DefaultWork(hashidx.TPCH()[0], 400) // high-reuse, latency-bound
+	with := smallOpts()
+	without := smallOpts()
+	without.Lookahead = 1 // effectively no decoupling
+	a, err := RunXCache(w, with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunXCache(w, without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles >= b.Cycles {
+		t.Errorf("lookahead %d (%d cyc) not faster than lookahead 1 (%d cyc)",
+			with.Lookahead, a.Cycles, b.Cycles)
+	}
+}

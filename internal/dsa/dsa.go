@@ -1,0 +1,69 @@
+// Package dsa defines the shared measurement vocabulary for the five
+// domain-specific accelerators evaluated in the paper (Widx, DASX,
+// GraphPulse, SpArch, Gamma). Each DSA subpackage provides three runners
+// over the same workload:
+//
+//	RunXCache   — the DSA datapath in front of a programmed X-Cache;
+//	RunAddr     — the same datapath over an address-tagged cache with an
+//	              ideal (zero-decision-cost) walker, the paper's red bar;
+//	RunBaseline — the original DSA's hardwired orchestration, the paper's
+//	              black bar.
+//
+// All runners validate their functional output against a pure-Go
+// reference before reporting numbers.
+package dsa
+
+import (
+	"fmt"
+
+	"xcache/internal/energy"
+)
+
+// Kind distinguishes the three storage idioms under comparison.
+type Kind string
+
+// The comparison points of Fig 14.
+const (
+	KindXCache   Kind = "xcache"
+	KindAddr     Kind = "addr"
+	KindBaseline Kind = "baseline"
+)
+
+// Result is one simulation measurement.
+type Result struct {
+	DSA      string
+	Workload string
+	Kind     Kind
+
+	Cycles        uint64
+	DRAMAccesses  uint64
+	DRAMReadWords uint64
+	OnChipHits    uint64
+	HitRate       float64
+	AvgLoadToUse  float64 // mean issue→response over all accesses
+	HitLoadToUse  float64 // mean over on-chip hits only (meta-tag short-circuit)
+	L2UP50        uint64  // median load-to-use (bucketed upper bound)
+	L2UP99        uint64  // tail load-to-use
+	Occupancy     uint64  // byte-cycles (Fig 7 metric)
+
+	Energy energy.Breakdown
+
+	// Checked is true when the run's functional output matched the
+	// reference implementation.
+	Checked bool
+}
+
+// Speedup returns other.Cycles / r.Cycles (how much faster r is).
+func (r Result) Speedup(other Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(other.Cycles) / float64(r.Cycles)
+}
+
+// String summarizes for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s[%s]: %d cyc, %d DRAM, hit %.2f, l2u %.1f, %.0f pJ",
+		r.DSA, r.Workload, r.Kind, r.Cycles, r.DRAMAccesses, r.HitRate,
+		r.AvgLoadToUse, r.Energy.OnChip())
+}

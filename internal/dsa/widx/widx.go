@@ -1,0 +1,358 @@
+// Package widx reproduces the Widx DSA ("Meet the Walkers", MICRO'13):
+// hash-index probe acceleration for in-memory databases. The meta-tag is
+// the probe key; X-Cache caches the hash-index nodes themselves, so a hit
+// skips both the (up to 60-cycle, for TPC-H 19/20 string keys) hashing
+// and the bucket-chain walk. The original Widx — the paper's baseline —
+// hashes on every probe and walks an address-tagged cache.
+package widx
+
+import (
+	"fmt"
+
+	"xcache/internal/addrcache"
+	"xcache/internal/core"
+	"xcache/internal/ctrl"
+	"xcache/internal/dram"
+	"xcache/internal/dsa"
+	"xcache/internal/energy"
+	"xcache/internal/hashidx"
+	"xcache/internal/mem"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+// Work describes one probe workload.
+type Work struct {
+	NumKeys int
+	Buckets int
+	Probes  int
+	Profile hashidx.Profile
+	Seed    int64
+}
+
+// DefaultWork sizes a workload for the given TPC-H profile; scale divides
+// the paper-scale sizes for fast unit tests.
+func DefaultWork(p hashidx.Profile, scale int) Work {
+	if scale < 1 {
+		scale = 1
+	}
+	keys := 200000 / scale
+	if keys < 64 {
+		keys = 64
+	}
+	probes := int(float64(keys) * p.ProbesPerKey)
+	// Buckets sized for average chain length 6: the deep-walk regime of a
+	// 100 GB TPC-H hash join (the index vastly exceeds any on-chip cache
+	// and probes traverse multi-node chains).
+	return Work{NumKeys: keys, Buckets: keys / 6, Probes: probes, Profile: p, Seed: 42}
+}
+
+// Options configure a run.
+type Options struct {
+	Cfg              core.Config // zero value → core.WidxConfig()
+	DRAM             dram.Config
+	MaxCycles        int
+	IssueWidth       int // datapath probes issued per cycle
+	BaselineContexts int // hardware walkers in the original Widx
+	Mode             ctrl.ExecMode
+}
+
+func (o *Options) defaults() {
+	if o.Cfg.Sets == 0 {
+		o.Cfg = core.WidxConfig()
+	}
+	if o.DRAM.Banks == 0 {
+		o.DRAM = dram.DefaultConfig()
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000_000
+	}
+	if o.IssueWidth == 0 {
+		o.IssueWidth = 2
+	}
+	if o.BaselineContexts == 0 {
+		o.BaselineContexts = 4
+	}
+	o.Cfg.Mode = o.Mode
+}
+
+// Spec returns the Widx walker program (§5, Fig 10a): IDX (hash the key)
+// → META (load the bucket head) → DATA/MATCH (chase the chain comparing
+// keys). shift is 64−log2(buckets), compiled in as a DSA constant.
+func Spec(shift uint) program.Spec {
+	return program.Spec{
+		Name:   "widx",
+		States: []string{"Meta", "Data"},
+		Consts: map[string]int64{"HSHIFT": int64(shift)},
+		Transitions: []program.Transition{
+			// IDX + META: hash the key, fetch the bucket head pointer.
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocr r1          ; probe key lives across yields
+				allocm
+				lde r4, e1         ; multiplicative hash constant
+				mul r5, r1, r4
+				shr r5, r5, HSHIFT ; bucket index
+				shl r5, r5, 3
+				lde r4, e0         ; bucket table base
+				add r5, r4, r5
+				enqfilli r5, 1     ; META: bucket head pointer
+				state Meta
+			`},
+			{State: "Meta", Event: "Fill", Asm: `
+				peek r5, 0
+				bnz r5, walk
+				li r6, 0
+				enqresp r6, NOTFOUND
+				abort
+			walk:
+				enqfilli r5, 3     ; AREF: node [key, rid, next]
+				state Data
+			`},
+			// MATCH: compare, follow next, or finish.
+			{State: "Data", Event: "Fill", Asm: `
+				peek r6, 0         ; node key
+				beq r6, r1, match
+				peek r5, 2         ; next pointer
+				bnz r5, chase
+				li r6, 0
+				enqresp r6, NOTFOUND
+				abort
+			chase:
+				enqfilli r5, 3
+				state Data
+			match:
+				peek r6, 1         ; RID
+				allocdi r7, 1
+				writed r7, r6
+				li r8, 1
+				update r7, r8
+				enqresp r6, OK
+				halt Valid
+			`},
+		},
+	}
+}
+
+// BuildWorkload lays the index out in img and generates the probe trace.
+func BuildWorkload(w Work, img *mem.Image) (*hashidx.Index, []uint64) {
+	ix := hashidx.Build(img, hashidx.SeqKeys(w.NumKeys), w.Buckets)
+	return ix, hashidx.Trace(ix, w.Profile, w.Probes, w.Seed)
+}
+
+// datapath drives meta probes against an X-Cache and validates RIDs.
+type datapath struct {
+	c       *ctrl.Controller
+	trace   []uint64
+	ix      *hashidx.Index
+	cursor  int
+	pending int
+	done    int
+	issueW  int
+	ok      bool
+}
+
+func (dp *datapath) Tick(cy sim.Cycle) {
+	for {
+		resp, popped := dp.c.RespQ.Pop()
+		if !popped {
+			break
+		}
+		dp.pending--
+		dp.done++
+		key := dp.trace[resp.ID]
+		rid, present := dp.ix.RIDs[key]
+		switch {
+		case present && (resp.Status != program.StatusOK || resp.Value != rid):
+			dp.ok = false
+		case !present && resp.Status != program.StatusNotFound:
+			dp.ok = false
+		}
+	}
+	for i := 0; i < dp.issueW && dp.cursor < len(dp.trace); i++ {
+		req := ctrl.MetaReq{
+			ID:     uint64(dp.cursor),
+			Op:     ctrl.MetaLoad,
+			Key:    metatag.Key{dp.trace[dp.cursor], 0},
+			Issued: cy,
+		}
+		if !dp.c.ReqQ.Push(req) {
+			break
+		}
+		dp.cursor++
+		dp.pending++
+	}
+}
+
+// RunXCache measures the Widx datapath over a programmed X-Cache.
+func RunXCache(w Work, opt Options) (dsa.Result, error) {
+	opt.defaults()
+	// Compile with a placeholder shift, then install the program compiled
+	// for the actual (power-of-two-rounded) bucket count.
+	sys, err := core.NewSystem(opt.Cfg, opt.DRAM, Spec(0))
+	if err != nil {
+		return dsa.Result{}, err
+	}
+	ix, trace := BuildWorkload(w, sys.Img)
+	sys.Cache.Ctrl.Prog = mustProg(Spec(ix.Shift))
+	sys.Cache.SetEnv(0, ix.Table)
+	sys.Cache.SetEnv(1, hashidx.HashMul)
+
+	dp := &datapath{c: sys.Cache.Ctrl, trace: trace, ix: ix, issueW: opt.IssueWidth, ok: true}
+	sys.K.Add(dp)
+
+	if !sys.K.RunUntil(func() bool { return dp.done == len(trace) }, opt.MaxCycles) {
+		return dsa.Result{}, fmt.Errorf("widx xcache: timeout at %d/%d probes", dp.done, len(trace))
+	}
+	st := sys.Snapshot()
+	return dsa.Result{
+		DSA: "Widx", Workload: w.Profile.Name, Kind: dsa.KindXCache,
+		Cycles:        st.Cycles,
+		DRAMAccesses:  st.DRAM.Accesses(),
+		DRAMReadWords: st.DRAM.WordsRead,
+		OnChipHits:    st.Ctrl.Hits,
+		HitRate:       st.Ctrl.HitRate(),
+		AvgLoadToUse:  st.Ctrl.AvgLoadToUse(),
+		HitLoadToUse:  st.Ctrl.AvgHitLoadToUse(),
+		L2UP50:        st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
+		Occupancy: st.Ctrl.OccupancyByteCycles,
+		Energy:    st.Energy,
+		Checked:   dp.ok,
+	}, nil
+}
+
+func mustProg(s program.Spec) *program.Program {
+	p, err := s.Compile()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// probeWalk is the address-based walk for one probe: bucket head, then
+// the node chain. hash is the datapath compute charged before the first
+// address (zero for the ideal walker, Profile.HashCycles for Widx).
+// NewProbeWalk returns the address-based walk for one probe (shared with
+// the DASX baseline, which walks the same index structure).
+func NewProbeWalk(ix *hashidx.Index, key uint64, hashCycles int) addrcache.Walk {
+	return &probeWalk{ix: ix, key: key, hash: hashCycles}
+}
+
+type probeWalk struct {
+	ix    *hashidx.Index
+	key   uint64
+	hash  int
+	stage int
+	cur   uint64
+}
+
+func (p *probeWalk) Next(blockBase uint64, data []uint64) (addrcache.Step, *addrcache.Result) {
+	switch p.stage {
+	case 0:
+		p.stage = 1
+		p.cur = p.ix.HeadAddr(p.ix.BucketOf(p.key))
+		return addrcache.Step{Addr: p.cur, ComputeCycles: p.hash}, nil
+	case 1:
+		head := data[(p.cur-blockBase)/8]
+		if head == 0 {
+			return addrcache.Step{}, &addrcache.Result{Found: false}
+		}
+		p.stage = 2
+		p.cur = head
+		return addrcache.Step{Addr: head}, nil
+	default:
+		off := (p.cur - blockBase) / 8
+		nodeKey, rid, next := data[off], data[off+1], data[off+2]
+		if nodeKey == p.key {
+			return addrcache.Step{}, &addrcache.Result{Found: true, Value: rid, Words: 1}
+		}
+		if next == 0 {
+			return addrcache.Step{}, &addrcache.Result{Found: false}
+		}
+		p.cur = next
+		return addrcache.Step{Addr: next}, nil
+	}
+}
+
+// AddrGeometry sizes an address cache to the same data capacity as an
+// X-Cache configuration (same byte count, 32-byte blocks, 8 ways).
+func AddrGeometry(cfg core.Config) addrcache.Config {
+	blocks := cfg.Sets * cfg.Ways * cfg.WordsPerSector / 4
+	ways := 8
+	sets := 1
+	for sets*2 <= blocks/ways {
+		sets *= 2
+	}
+	return addrcache.Config{Sets: sets, Ways: ways, BlockWords: 4}
+}
+
+// runWalked is shared by RunAddr (hash=0: ideal walker) and RunBaseline
+// (hash=Profile.HashCycles on every probe: the original Widx datapath).
+func runWalked(w Work, opt Options, kind dsa.Kind, hashCycles, contexts int) (dsa.Result, error) {
+	opt.defaults()
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, opt.DRAM, img)
+	meter := &energy.Counters{}
+	cache := addrcache.New(k, AddrGeometry(opt.Cfg), d.Req, d.Resp, meter)
+	eng := addrcache.NewEngine(k, addrcache.EngineConfig{Contexts: contexts}, cache)
+	ix, trace := BuildWorkload(w, img)
+
+	cursor, done := 0, 0
+	okAll := true
+	pump := sim.ComponentFunc(func(cy sim.Cycle) {
+		for {
+			resp, popped := eng.Resp.Pop()
+			if !popped {
+				break
+			}
+			done++
+			key := trace[resp.ID]
+			rid, present := ix.RIDs[key]
+			if present != resp.Result.Found || (present && rid != resp.Result.Value) {
+				okAll = false
+			}
+		}
+		for cursor < len(trace) {
+			job := addrcache.Job{ID: uint64(cursor),
+				W:      &probeWalk{ix: ix, key: trace[cursor], hash: hashCycles},
+				Issued: cy}
+			if !eng.Jobs.Push(job) {
+				break
+			}
+			// Hashing energy: one ALU op per hash cycle on the datapath.
+			meter.AddOps += uint64(hashCycles)
+			cursor++
+		}
+	})
+	k.Add(pump)
+
+	if !k.RunUntil(func() bool { return done == len(trace) }, opt.MaxCycles) {
+		return dsa.Result{}, fmt.Errorf("widx %s: timeout at %d/%d probes", kind, done, len(trace))
+	}
+	dst := d.Stats()
+	return dsa.Result{
+		DSA: "Widx", Workload: w.Profile.Name, Kind: kind,
+		Cycles:        uint64(k.Cycle()),
+		DRAMAccesses:  dst.Accesses(),
+		DRAMReadWords: dst.WordsRead,
+		OnChipHits:    cache.Stats().Hits,
+		HitRate:       cache.Stats().HitRate(),
+		AvgLoadToUse:  eng.Stats().AvgLoadToUse(),
+		Energy:        meter.Energy(energy.DefaultParams()),
+		Checked:       okAll,
+	}, nil
+}
+
+// RunAddr measures the address-tagged cache with an ideal walker.
+func RunAddr(w Work, opt Options) (dsa.Result, error) {
+	opt.defaults()
+	return runWalked(w, opt, dsa.KindAddr, 0, opt.Cfg.NumActive)
+}
+
+// RunBaseline measures the original Widx: hardwired walkers that hash on
+// every probe and walk through an address cache.
+func RunBaseline(w Work, opt Options) (dsa.Result, error) {
+	opt.defaults()
+	return runWalked(w, opt, dsa.KindBaseline, w.Profile.HashCycles, opt.BaselineContexts)
+}

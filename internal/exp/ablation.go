@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"xcache/internal/ctrl"
+	"xcache/internal/dsa/btreeidx"
+	"xcache/internal/dsa/dasx"
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/hashidx"
+	"xcache/internal/stats"
+)
+
+// AblationProgrammability quantifies the cost of the programmable
+// controller against a hardwired FSM with identical structures — the
+// paper's "minimal penalty for being reusable" claim (§1: the
+// programmable controller adds <7% energy; §8.1: no performance loss).
+// The hardwired twin executes each routine in one cycle and fetches no
+// microcode; everything else is shared.
+func AblationProgrammability(scale int) (*Out, error) {
+	t := stats.NewTable("Ablation — programmable controller vs hardwired FSM",
+		"DSA", "Workload", "Cycles (prog)", "Cycles (hard)", "Slowdown", "Routine-RAM energy share")
+	m := map[string]float64{}
+	worstSlow, worstRtn := 0.0, 0.0
+
+	record := func(name, workload string, progCycles, hardCycles uint64, rtnShare float64) {
+		slow := float64(progCycles) / float64(hardCycles)
+		if slow > worstSlow {
+			worstSlow = slow
+		}
+		if rtnShare > worstRtn {
+			worstRtn = rtnShare
+		}
+		t.Add(name, workload, stats.I(progCycles), stats.I(hardCycles),
+			stats.F2(slow)+"x", stats.Pct(rtnShare))
+	}
+
+	// Widx (TPC-H-19): hardwired twin via the DASX runner? No — Widx's
+	// baseline is the original Widx, so build the hardwired twin directly.
+	p := hashidx.TPCH()[0]
+	hw := widx.DefaultWork(p, scale)
+	wOpt := widxOpts(scale)
+	prog, err := widx.RunXCache(hw, wOpt)
+	if err != nil {
+		return nil, err
+	}
+	hOpt := wOpt
+	hOpt.Cfg.Hardwired = true
+	hard, err := widx.RunXCache(hw, hOpt)
+	if err != nil {
+		return nil, err
+	}
+	record("Widx", p.Name, prog.Cycles, hard.Cycles,
+		prog.Energy.RoutineRAM/prog.Energy.OnChip())
+
+	// DASX.
+	dOpt := dasxOpts(scale)
+	dProg, err := dasx.RunXCache(hw, dOpt)
+	if err != nil {
+		return nil, err
+	}
+	dhOpt := dOpt
+	dhOpt.Cfg.Hardwired = true
+	dHard, err := dasx.RunXCache(hw, dhOpt)
+	if err != nil {
+		return nil, err
+	}
+	record("DASX", p.Name, dProg.Cycles, dHard.Cycles,
+		dProg.Energy.RoutineRAM/dProg.Energy.OnChip())
+
+	// SpArch and Gamma: RunBaseline is exactly the hardwired twin.
+	sp := spgemm.P2PGnutella31(scale)
+	for _, alg := range []spgemm.Algorithm{spgemm.SpArch, spgemm.Gamma} {
+		x, err := spgemm.RunXCache(alg, sp, spgemmOpts(alg, scale))
+		if err != nil {
+			return nil, err
+		}
+		h, err := spgemm.RunBaseline(alg, sp, spgemmOpts(alg, scale))
+		if err != nil {
+			return nil, err
+		}
+		record(string(alg), "p2p-31", x.Cycles, h.Cycles,
+			x.Energy.RoutineRAM/x.Energy.OnChip())
+	}
+
+	// GraphPulse.
+	gw := graphpulse.P2PGnutella08(scale)
+	gx, err := graphpulse.RunXCache(gw, gpOpts(scale))
+	if err != nil {
+		return nil, err
+	}
+	gh, err := graphpulse.RunBaseline(gw, gpOpts(scale))
+	if err != nil {
+		return nil, err
+	}
+	record("GraphPulse", gw.Name, gx.Cycles, gh.Cycles,
+		gx.Energy.RoutineRAM/gx.Energy.OnChip())
+
+	m["worst_slowdown"] = worstSlow
+	m["worst_routine_ram_share"] = worstRtn
+	return &Out{ID: "ablation-prog", Table: t, Metrics: m,
+		Notes: []string{"Paper: the programmable controller costs <7% energy and no performance relative to hardwired designs; alloc-heavy flows (GraphPulse) are the worst case."}}, nil
+}
+
+// AblationDesignChoices measures the individual design decisions
+// DESIGN.md calls out: GraphPulse's identity set-indexing (vs a hashed
+// index that causes conflict evictions in the direct-mapped event store)
+// and DASX's decoupled preload distance.
+func AblationDesignChoices(scale int) (*Out, error) {
+	t := stats.NewTable("Ablation — design choices",
+		"Choice", "Variant", "Cycles", "Note")
+	m := map[string]float64{}
+
+	// DASX preload lookahead.
+	p := hashidx.TPCH()[0]
+	hw := widx.DefaultWork(p, scale)
+	var base uint64
+	for _, la := range []int{1, 16, 64} {
+		opt := dasxOpts(scale)
+		opt.Lookahead = la
+		r, err := dasx.RunXCache(hw, opt)
+		if err != nil {
+			return nil, err
+		}
+		if la == 1 {
+			base = r.Cycles
+		}
+		t.Add("DASX preload", fmt.Sprintf("lookahead %d", la), stats.I(r.Cycles),
+			fmt.Sprintf("%.2fx vs lookahead 1", float64(base)/float64(r.Cycles)))
+		if la == 64 {
+			m["dasx_preload_gain"] = float64(base) / float64(r.Cycles)
+		}
+	}
+
+	// Coroutine vs thread (the §3.3 choice), runtime view.
+	wOpt := widxOpts(scale)
+	rc, err := widx.RunXCache(hw, wOpt)
+	if err != nil {
+		return nil, err
+	}
+	tOpt := wOpt
+	tOpt.Mode = ctrl.ModeThread
+	rt, err := widx.RunXCache(hw, tOpt)
+	if err != nil {
+		return nil, err
+	}
+	t.Add("Walker multiplexing", "coroutines", stats.I(rc.Cycles), "design point")
+	t.Add("Walker multiplexing", "blocking threads", stats.I(rt.Cycles),
+		fmt.Sprintf("%.2fx slower, %.0fx occupancy", float64(rt.Cycles)/float64(rc.Cycles),
+			float64(rt.Occupancy)/float64(rc.Occupancy)))
+	m["thread_slowdown"] = float64(rt.Cycles) / float64(rc.Cycles)
+	m["thread_occupancy_ratio"] = float64(rt.Occupancy) / float64(rc.Occupancy)
+
+	return &Out{ID: "ablation-design", Table: t, Metrics: m, Notes: []string{
+		"Decoupled preload and coroutine multiplexing are the two §3 choices with runtime ablations; meta-tags vs address tags is Fig 14.",
+	}}, nil
+}
+
+// ExtensionBTree runs the beyond-the-paper portability demonstration:
+// the same controller programmed with a B+-tree descent walker, composed
+// as §6's MXA (meta-tags over an address cache holding the tree's hot
+// upper levels), against a pure address-cache baseline with the same
+// total on-chip budget.
+func ExtensionBTree(scale int) (*Out, error) {
+	w := btreeidx.DefaultWork(scale)
+	// Trees reward capacity on the hot path (upper levels + hot keys);
+	// keep the budget in the regime where both systems capture reuse.
+	div := scale / 8
+	if div < 1 {
+		div = 1
+	}
+	opt := btreeidx.Options{Cfg: btreeidx.Config().Scaled(div)}
+	x, err := btreeidx.RunXCache(w, opt)
+	if err != nil {
+		return nil, err
+	}
+	a, err := btreeidx.RunAddr(w, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !x.Checked || !a.Checked {
+		return nil, fmt.Errorf("btree extension failed functional validation")
+	}
+	t := stats.NewTable("Extension — B+-tree index walker (MXA composition)",
+		"System", "Cycles", "DRAM accs", "Hit rate", "Load-to-use")
+	t.Add("X-Cache over addr cache (MXA)", stats.I(x.Cycles), stats.I(x.DRAMAccesses),
+		stats.F2(x.HitRate), stats.F1(x.AvgLoadToUse))
+	t.Add("address cache + ideal walker", stats.I(a.Cycles), stats.I(a.DRAMAccesses),
+		stats.F2(a.HitRate), stats.F1(a.AvgLoadToUse))
+	return &Out{ID: "ext-btree", Table: t, Metrics: map[string]float64{
+		"btree_speedup":       x.Speedup(a),
+		"btree_mem_reduction": float64(a.DRAMAccesses) / float64(x.DRAMAccesses),
+	}, Notes: []string{
+		"Not in the paper: demonstrates the idiom porting to a sixth DSA family with zero controller changes.",
+	}}, nil
+}

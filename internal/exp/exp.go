@@ -1,0 +1,196 @@
+// Package exp is the evaluation harness: one entry point per table and
+// figure of the paper's evaluation (§8), each regenerating the same rows
+// or series the paper reports. Both cmd/xcache-bench and the repository's
+// benchmark suite drive these functions.
+//
+// Every experiment takes a scale divisor: scale 1 runs the published
+// workload sizes (Table 3 geometries, 100 GB-regime hash indices,
+// p2p-Gnutella sparse inputs); larger scales divide the workload and
+// cache capacities together so the cache-pressure regime — the thing the
+// results depend on — is preserved while unit tests stay fast.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"xcache/internal/core"
+	"xcache/internal/dsa"
+	"xcache/internal/dsa/dasx"
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/hashidx"
+	"xcache/internal/stats"
+)
+
+// Out is one regenerated table/figure.
+type Out struct {
+	ID      string
+	Table   *stats.Table
+	Metrics map[string]float64
+	Notes   []string
+}
+
+// cacheDiv maps a workload scale to the cache-capacity divisor that keeps
+// the working-set-to-capacity ratio of the paper's configuration.
+func cacheDiv(scale int) int {
+	d := scale / 3
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func widxOpts(scale int) widx.Options {
+	return widx.Options{Cfg: core.WidxConfig().Scaled(cacheDiv(scale))}
+}
+
+func dasxOpts(scale int) dasx.Options {
+	return dasx.Options{Cfg: core.DASXConfig().Scaled(cacheDiv(scale))}
+}
+
+func spgemmOpts(alg spgemm.Algorithm, scale int) spgemm.Options {
+	d := scale / 8
+	if d < 1 {
+		d = 1
+	}
+	cfg := core.SpArchConfig()
+	if alg == spgemm.Gamma {
+		cfg = core.GammaConfig()
+	}
+	return spgemm.Options{Cfg: cfg.Scaled(d)}
+}
+
+func gpOpts(scale int) graphpulse.Options {
+	return gpOptsFor(graphpulse.P2PGnutella08(scale), scale)
+}
+
+func gpOptsFor(w graphpulse.Work, scale int) graphpulse.Options {
+	cfg := core.GraphPulseConfig()
+	if scale > 1 || w.N > cfg.Sets {
+		// Keep the collision-free identity-indexed store: sets ≥ 2N.
+		sets := 1024
+		for sets < 2*w.N {
+			sets *= 2
+		}
+		cfg.Sets = sets
+		cfg.Sectors = 2 * sets
+	}
+	return graphpulse.Options{Cfg: cfg}
+}
+
+// Sweep holds the full DSA × workload × storage-idiom result matrix that
+// Figs 14/15/16 are cut from.
+type Sweep struct {
+	Scale   int
+	Results []dsa.Result
+}
+
+// Get returns the result for (dsaName, workload, kind), or false.
+func (s *Sweep) Get(dsaName, workload string, kind dsa.Kind) (dsa.Result, bool) {
+	for _, r := range s.Results {
+		if r.DSA == dsaName && r.Workload == workload && r.Kind == kind {
+			return r, true
+		}
+	}
+	return dsa.Result{}, false
+}
+
+// Pairs returns the (xcache, other) result pairs for every workload that
+// has both kinds.
+func (s *Sweep) Pairs(other dsa.Kind) (xs, os []dsa.Result) {
+	for _, r := range s.Results {
+		if r.Kind != dsa.KindXCache {
+			continue
+		}
+		o, ok := s.Get(r.DSA, r.Workload, other)
+		if !ok {
+			continue
+		}
+		xs = append(xs, r)
+		os = append(os, o)
+	}
+	return xs, os
+}
+
+// RunSweep executes every (DSA, workload, idiom) combination of Fig 14.
+func RunSweep(scale int) (*Sweep, error) {
+	sw := &Sweep{Scale: scale}
+	add := func(r dsa.Result, err error) error {
+		if err != nil {
+			return err
+		}
+		if !r.Checked {
+			return fmt.Errorf("exp: %s/%s[%s] failed functional validation", r.DSA, r.Workload, r.Kind)
+		}
+		sw.Results = append(sw.Results, r)
+		return nil
+	}
+
+	// Widx and DASX over the three TPC-H query profiles.
+	for _, p := range hashidx.TPCH() {
+		w := widx.DefaultWork(p, scale)
+		if err := add(widx.RunXCache(w, widxOpts(scale))); err != nil {
+			return nil, err
+		}
+		if err := add(widx.RunAddr(w, widxOpts(scale))); err != nil {
+			return nil, err
+		}
+		if err := add(widx.RunBaseline(w, widxOpts(scale))); err != nil {
+			return nil, err
+		}
+		if err := add(dasx.RunXCache(w, dasxOpts(scale))); err != nil {
+			return nil, err
+		}
+		if err := add(dasx.RunAddr(w, dasxOpts(scale))); err != nil {
+			return nil, err
+		}
+		if err := add(dasx.RunBaseline(w, dasxOpts(scale))); err != nil {
+			return nil, err
+		}
+	}
+
+	// SpArch and Gamma on p2p-Gnutella31.
+	sp := spgemm.P2PGnutella31(scale)
+	for _, alg := range []spgemm.Algorithm{spgemm.SpArch, spgemm.Gamma} {
+		if err := add(spgemm.RunXCache(alg, sp, spgemmOpts(alg, scale))); err != nil {
+			return nil, err
+		}
+		if err := add(spgemm.RunAddr(alg, sp, spgemmOpts(alg, scale))); err != nil {
+			return nil, err
+		}
+		if err := add(spgemm.RunBaseline(alg, sp, spgemmOpts(alg, scale))); err != nil {
+			return nil, err
+		}
+	}
+
+	// GraphPulse on p2p-Gnutella08 and (further scaled — the published
+	// input is 916K vertices / 5.1M edges) web-Google.
+	gw := graphpulse.P2PGnutella08(scale)
+	web := graphpulse.WebGoogle(scale * 4)
+	for _, w := range []graphpulse.Work{gw, web} {
+		opt := gpOptsFor(w, scale)
+		if err := add(graphpulse.RunXCache(w, opt)); err != nil {
+			return nil, err
+		}
+		if err := add(graphpulse.RunAddr(w, opt)); err != nil {
+			return nil, err
+		}
+		if err := add(graphpulse.RunBaseline(w, opt)); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}

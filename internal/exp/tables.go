@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"xcache/internal/area"
+	"xcache/internal/core"
+	"xcache/internal/energy"
+	"xcache/internal/stats"
+)
+
+// Table1 prints the qualitative storage-idiom taxonomy (§2.2).
+func Table1() *Out {
+	t := stats.NewTable("Table 1 — X-Cache vs. state-of-the-art storage idioms",
+		"Property", "Caches", "Scratch+DMA", "Scratch+AE", "FIFOs", "X-Cache")
+	t.Add("Granularity", "Blocks", "Tiles", "Word", "Elements", "DSA-specific")
+	t.Add("Meta-to-Addr", "Always walk+translate", "Always", "Always", "Always", "Only misses")
+	t.Add("Behavior", "Dynamic", "Static (affine)", "Static pattern", "Stream", "Dynamic")
+	t.Add("Target", "-", "Dense tiles", "Linear structures", "Streams", "Flexible")
+	t.Add("Addressing", "Implicit", "Explicit", "Implicit", "Implicit", "Implicit")
+	t.Add("Coupling", "Coupled (ld/st)", "Decoupled", "Coupled", "Decoupled", "Decoupled")
+	t.Add("Walker", "Hardwired", "No (DSA walks)", "Fixed FSM", "Only FIFO", "Programmable")
+	t.Add("Control", "Complex (MSHRs)", "Simple (dbl-buffer)", "Complex (thread)", "Simple", "Simple (routines)")
+	t.Add("Multi-fill", "No", "Tile", "Limited", "Only FIFO", "Yes (coroutines)")
+	t.Add("LD/ST order", "Arbitrary", "Limited", "On-chip only", "FIFO", "Arbitrary")
+	t.Add("Preload", "Separate prefetcher", "Tile DMA", "Limited (credit)", "Limited", "Yes (FSM driven)")
+	return &Out{ID: "table1", Table: t}
+}
+
+// Table2 prints the X-Cache features each DSA exercises (§5).
+func Table2() *Out {
+	t := stats.NewTable("Table 2 — X-Cache features benefiting DSAs",
+		"DSA", "Tag", "Preload", "Coupling", "Data", "DS")
+	t.Add("Widx", "Key", "No", "Coupled", "Rid", "Hash Table")
+	t.Add("DASX", "Key", "Yes", "Decoupled", "Rid", "Hash Table")
+	t.Add("GraphPulse", "Node Idx", "No", "Decoupled", "Event", "Graph")
+	t.Add("SpArch", "Col Idx", "Yes", "Decoupled", "B.Row", "CSR")
+	t.Add("Gamma", "Col Idx", "Yes", "Decoupled", "B.Row", "CSR")
+	return &Out{ID: "table2", Table: t}
+}
+
+// Table3 prints the per-DSA design points actually used by the library.
+func Table3() *Out {
+	t := stats.NewTable("Table 3 — X-Cache design parameters per DSA",
+		"DSA", "#Active", "#Exe", "#Way", "#Set", "#Word")
+	for _, c := range core.Table3() {
+		t.Add(c.Name, fmt.Sprintf("%d", c.NumActive), fmt.Sprintf("%d", c.NumExe),
+			fmt.Sprintf("%d", c.Ways), fmt.Sprintf("%d", c.Sets), fmt.Sprintf("%d", c.WordsPerSector))
+	}
+	return &Out{ID: "table3", Table: t}
+}
+
+// Table4 prints the energy parameters of the model (1 GHz, pJ).
+func Table4() *Out {
+	p := energy.DefaultParams()
+	t := stats.NewTable("Table 4 — Energy parameters (pJ, 1 GHz)", "Event", "Energy")
+	t.Add("Register (per bit)", fmt.Sprintf("%.2e", p.RegPerBit))
+	t.Add("Add", fmt.Sprintf("%.2e", p.Add))
+	t.Add("Mul", fmt.Sprintf("%.1f", p.Mul))
+	t.Add("Bitwise op", fmt.Sprintf("%.2e", p.Bitwise))
+	t.Add("Shift", fmt.Sprintf("%.2e", p.Shift))
+	t.Add("Tag (per byte)", fmt.Sprintf("%.1f", p.TagPerByte))
+	t.Add("L1/data RAM (per 32 B)", fmt.Sprintf("%.1f", p.RAMPer32B))
+	return &Out{ID: "table4", Table: t}
+}
+
+// Fig19 regenerates the FPGA synthesis utilization for the paper's
+// synthesis point (#Exe=4, #Active=8) and for each Table 3 design point.
+func Fig19() *Out {
+	t := stats.NewTable("Fig 19 — FPGA synthesis (Cyclone IV GX class)",
+		"Config", "LEs", "Comb", "Registers", "Top reg module", "Top logic module")
+	m := map[string]float64{}
+	emit := func(name string, in area.Inputs) {
+		f := area.EstimateFPGA(in)
+		topReg, topLogic := "", ""
+		best, bestL := -1, -1
+		for _, mod := range area.Modules {
+			if f.RegByMod[mod] > best {
+				best, topReg = f.RegByMod[mod], mod
+			}
+			if f.LEByMod[mod] > bestL {
+				bestL, topLogic = f.LEByMod[mod], mod
+			}
+		}
+		t.Add(name, stats.I(f.LEs), stats.I(f.Comb), stats.I(f.Registers), topReg, topLogic)
+	}
+	ref := area.Inputs{NumExe: 4, NumActive: 8}
+	emit("paper synth (#Exe=4 #Active=8)", ref)
+	for _, c := range core.Table3() {
+		emit(c.Name, area.Inputs{NumExe: c.NumExe, NumActive: c.NumActive})
+	}
+	f := area.EstimateFPGA(ref)
+	m["ref_les"] = float64(f.LEs)
+	m["ref_regs"] = float64(f.Registers)
+	return &Out{ID: "fig19", Table: t, Metrics: m,
+		Notes: []string{"Paper: 6985 LEs (6%), 5766 comb (5%), 3457 registers (2%) on EP4CGX150DF31C8; X-Reg dominates registers, Action-Executors dominate logic."}}
+}
+
+// Fig20 regenerates the 45 nm ASIC layout summary.
+func Fig20() *Out {
+	t := stats.NewTable("Fig 20 — ASIC layout @45nm (controller, no RAMs)",
+		"Config", "Cells", "Controller mm²", "256K-cache RAM mm²")
+	m := map[string]float64{}
+	ref := area.Inputs{NumExe: 4, NumActive: 8}
+	a := area.EstimateASIC(ref)
+	t.Add("paper synth (#Exe=4 #Active=8)", stats.I(a.Cells),
+		fmt.Sprintf("%.3f", a.ControllerMM2), fmt.Sprintf("%.2f", area.RAMMM2(256*1024)))
+	for _, c := range core.Table3() {
+		ai := area.EstimateASIC(area.Inputs{NumExe: c.NumExe, NumActive: c.NumActive})
+		ramBytes := c.Sets*c.Ways*c.WordsPerSector*8*2 + c.Sets*c.Ways*12
+		t.Add(c.Name, stats.I(ai.Cells), fmt.Sprintf("%.3f", ai.ControllerMM2),
+			fmt.Sprintf("%.2f", area.RAMMM2(ramBytes)))
+	}
+	m["ref_cells"] = float64(a.Cells)
+	m["ref_mm2"] = a.ControllerMM2
+	return &Out{ID: "fig20", Table: t, Metrics: m,
+		Notes: []string{"Paper: 0.11 mm² and 65K cells at 45 nm; a 256K RAM alone needs 0.8 mm²."}}
+}

@@ -1,0 +1,202 @@
+// Package graph provides the graph substrate for the GraphPulse DSA:
+// CSR adjacency, synthetic generators matched to the paper's inputs
+// (p2p-Gnutella08: N=6.3K NNZ=21K; web-Google: N=916K NNZ=5.1M), a
+// reference PageRank, and the event-driven (delta-propagation) PageRank
+// semantics GraphPulse accelerates, used to validate the simulated DSA.
+package graph
+
+import (
+	"math"
+	"math/rand"
+
+	"xcache/internal/mem"
+	"xcache/internal/sparse"
+)
+
+// Graph is a directed graph in CSR form.
+type Graph struct {
+	N      int
+	OutPtr []int64 // len N+1
+	OutDst []int64 // len E
+}
+
+// E returns the edge count.
+func (g *Graph) E() int { return len(g.OutDst) }
+
+// Out returns the out-neighbours of v.
+func (g *Graph) Out(v int) []int64 {
+	return g.OutDst[g.OutPtr[v]:g.OutPtr[v+1]]
+}
+
+// OutDeg returns the out-degree of v.
+func (g *Graph) OutDeg(v int) int { return int(g.OutPtr[v+1] - g.OutPtr[v]) }
+
+// FromCSR adapts a square sparse matrix as a graph.
+func FromCSR(m *sparse.CSR) *Graph {
+	return &Graph{N: m.Rows, OutPtr: m.RowPtr, OutDst: m.Col}
+}
+
+// RMAT generates a power-law directed graph with n vertices and e edges.
+func RMAT(n, e int, seed int64) *Graph {
+	return FromCSR(sparse.RMAT(n, e, seed))
+}
+
+// Ring generates a deterministic ring plus chords; useful in tests where
+// every vertex must have in- and out-edges.
+func Ring(n, chord int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	var coords []sparse.Coord
+	for v := 0; v < n; v++ {
+		coords = append(coords, sparse.Coord{R: v, C: (v + 1) % n, V: 1})
+		for c := 0; c < chord; c++ {
+			coords = append(coords, sparse.Coord{R: v, C: rng.Intn(n), V: 1})
+		}
+	}
+	return FromCSR(sparse.FromCOO(n, n, coords))
+}
+
+// PageRankParams configure both reference implementations.
+type PageRankParams struct {
+	Damping float64 // default 0.85
+	Eps     float64 // convergence threshold on per-vertex residual
+	MaxIter int
+}
+
+func (p *PageRankParams) defaults() {
+	if p.Damping == 0 {
+		p.Damping = 0.85
+	}
+	if p.Eps == 0 {
+		p.Eps = 1e-9
+	}
+	if p.MaxIter == 0 {
+		p.MaxIter = 500
+	}
+}
+
+// PageRank is the classic power-iteration reference.
+func PageRank(g *Graph, p PageRankParams) []float64 {
+	p.defaults()
+	n := float64(g.N)
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for v := range rank {
+		rank[v] = 1 / n
+	}
+	for it := 0; it < p.MaxIter; it++ {
+		base := (1 - p.Damping) / n
+		dangling := 0.0
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < g.N; v++ {
+			deg := g.OutDeg(v)
+			if deg == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := p.Damping * rank[v] / float64(deg)
+			for _, w := range g.Out(v) {
+				next[w] += share
+			}
+		}
+		spread := p.Damping * dangling / n
+		delta := 0.0
+		for v := range next {
+			next[v] += spread
+			delta += math.Abs(next[v] - rank[v])
+		}
+		rank, next = next, rank
+		if delta < p.Eps {
+			break
+		}
+	}
+	return rank
+}
+
+// DeltaPageRank is the event-driven formulation GraphPulse implements:
+// vertices accumulate incoming deltas; when a vertex's accumulated delta
+// is applied, it emits damping·delta/deg to each out-neighbour. Events to
+// the same vertex coalesce by addition — exactly the merge X-Cache
+// performs in its meta-tagged event store. Returns ranks and the number
+// of coalesced event applications (a work measure).
+func DeltaPageRank(g *Graph, p PageRankParams) ([]float64, int) {
+	p.defaults()
+	n := float64(g.N)
+	rank := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	for v := range delta {
+		rank[v] = (1 - p.Damping) / n
+		delta[v] = (1 - p.Damping) / n
+	}
+	applications := 0
+	for it := 0; it < p.MaxIter; it++ {
+		// One superstep: drain all pending deltas, generate the next wave.
+		nextDelta := make([]float64, g.N)
+		active := false
+		for v := 0; v < g.N; v++ {
+			d := delta[v]
+			if math.Abs(d) < p.Eps {
+				continue
+			}
+			applications++
+			active = true
+			deg := g.OutDeg(v)
+			if deg == 0 {
+				continue
+			}
+			share := p.Damping * d / float64(deg)
+			for _, w := range g.Out(v) {
+				nextDelta[w] += share
+				rank[w] += share
+			}
+		}
+		delta = nextDelta
+		if !active {
+			break
+		}
+	}
+	return rank, applications
+}
+
+// Layout is a graph laid out in the memory image.
+type Layout struct {
+	OutPtr uint64
+	OutDst uint64
+}
+
+// WriteTo lays the adjacency out in the image.
+func (g *Graph) WriteTo(img *mem.Image) Layout {
+	l := Layout{OutPtr: img.AllocWords(g.N + 1), OutDst: img.AllocWords(g.E() + 1)}
+	for i, p := range g.OutPtr {
+		img.W64(l.OutPtr+uint64(i)*8, uint64(p))
+	}
+	for i, d := range g.OutDst {
+		img.W64(l.OutDst+uint64(i)*8, uint64(d))
+	}
+	return l
+}
+
+// BFS returns hop distances from src (math.MaxInt32 for unreachable
+// vertices) — the reference for the event-driven SSSP the GraphPulse DSA
+// runs with min-coalescing on unit weights.
+func BFS(g *Graph, src int) []int64 {
+	const inf = int64(1) << 30
+	dist := make([]int64, g.N)
+	for v := range dist {
+		dist[v] = inf
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(v) {
+			if dist[w] > dist[v]+1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return dist
+}

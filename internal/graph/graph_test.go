@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/mem"
+)
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := Ring(50, 2, 7)
+	r := PageRank(g, PageRankParams{})
+	sum := 0.0
+	for _, v := range r {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankUniformOnSymmetricRing(t *testing.T) {
+	g := Ring(10, 0, 1) // pure ring: all vertices equivalent
+	r := PageRank(g, PageRankParams{})
+	for v := 1; v < g.N; v++ {
+		if math.Abs(r[v]-r[0]) > 1e-9 {
+			t.Fatalf("ring not uniform: r[0]=%v r[%d]=%v", r[0], v, r[v])
+		}
+	}
+}
+
+func TestDeltaPageRankMatchesPowerIteration(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Ring(20+int(uint64(seed)%30), 2, seed)
+		p := PageRankParams{Eps: 1e-12, MaxIter: 3000}
+		a := PageRank(g, p)
+		b, _ := DeltaPageRank(g, p)
+		for v := range a {
+			if math.Abs(a[v]-b[v]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaPageRankCountsWork(t *testing.T) {
+	g := Ring(30, 1, 3)
+	_, apps := DeltaPageRank(g, PageRankParams{Eps: 1e-10})
+	if apps < g.N {
+		t.Fatalf("only %d applications for %d vertices", apps, g.N)
+	}
+}
+
+func TestRMATGraph(t *testing.T) {
+	g := RMAT(512, 2000, 11)
+	if g.N != 512 || g.E() != 2000 {
+		t.Fatalf("n=%d e=%d", g.N, g.E())
+	}
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Out(v) {
+			if w < 0 || int(w) >= g.N {
+				t.Fatalf("edge %d->%d out of range", v, w)
+			}
+		}
+	}
+}
+
+func TestWriteToImage(t *testing.T) {
+	g := Ring(8, 1, 2)
+	img := mem.NewImage()
+	l := g.WriteTo(img)
+	for v := 0; v <= g.N; v++ {
+		if img.R64(l.OutPtr+uint64(v)*8) != uint64(g.OutPtr[v]) {
+			t.Fatalf("outptr[%d] mismatch", v)
+		}
+	}
+	for i, d := range g.OutDst {
+		if img.R64(l.OutDst+uint64(i)*8) != uint64(d) {
+			t.Fatalf("outdst[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package hashidx builds the database hash-index substrate for the Widx
+// and DASX DSAs: chained-bucket hash indices laid out in the simulated
+// memory image (so walkers genuinely chase next pointers and compare
+// keys), plus probe-trace generators parameterized like the paper's
+// TPC-H/MonetDB workload (queries 19/20 use string keys whose hashing
+// costs ≈60 datapath cycles; query 22 uses numeric keys; probe skew is
+// Zipfian).
+package hashidx
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"xcache/internal/mem"
+)
+
+// HashMul is the multiplicative-hash constant shared between the Go-side
+// index builder and the Widx walker microcode (installed as an environment
+// operand so both hash identically).
+const HashMul = 0x9E3779B97F4A7C15
+
+// NodeWords is the size of one index node: [key, rid, next].
+const NodeWords = 3
+
+// Index is a chained-bucket hash index resident in a memory image.
+type Index struct {
+	Buckets    int    // power of two
+	Shift      uint   // 64 - log2(Buckets)
+	Table      uint64 // bucket-head array base address
+	Keys       []uint64
+	RIDs       map[uint64]uint64 // reference mapping for validation
+	nodes      int
+	img        *mem.Image
+	ChainTotal int // Σ chain lengths (for expected-walk stats)
+	ChainMax   int
+}
+
+// BucketOf returns the bucket index of key.
+func (ix *Index) BucketOf(key uint64) uint64 {
+	return (key * HashMul) >> ix.Shift
+}
+
+// HeadAddr returns the address of bucket b's head pointer.
+func (ix *Index) HeadAddr(b uint64) uint64 { return ix.Table + b*8 }
+
+// Build lays out an index with the given keys, assigning rid(key) = 10·key+1.
+// buckets is rounded up to a power of two.
+func Build(img *mem.Image, keys []uint64, buckets int) *Index {
+	b := 2 // minimum 2: the microcode shr path encodes shifts mod 64
+	for b < buckets {
+		b <<= 1
+	}
+	ix := &Index{
+		Buckets: b,
+		Shift:   uint(64 - bits.TrailingZeros(uint(b))),
+		Table:   img.AllocWords(b),
+		RIDs:    map[uint64]uint64{},
+		img:     img,
+	}
+	chain := make(map[uint64]int)
+	for _, key := range keys {
+		if _, dup := ix.RIDs[key]; dup {
+			continue
+		}
+		rid := 10*key + 1
+		ix.RIDs[key] = rid
+		ix.Keys = append(ix.Keys, key)
+		// Prepend a node to the bucket chain; 32-byte aligned so a node is
+		// one cache-block access for the address-based baseline.
+		node := img.Alloc(NodeWords*8, 32)
+		bkt := ix.BucketOf(key)
+		head := img.R64(ix.HeadAddr(bkt))
+		img.W64(node, key)
+		img.W64(node+8, rid)
+		img.W64(node+16, head)
+		img.W64(ix.HeadAddr(bkt), node)
+		ix.nodes++
+		chain[bkt]++
+	}
+	for _, n := range chain {
+		ix.ChainTotal += n
+		if n > ix.ChainMax {
+			ix.ChainMax = n
+		}
+	}
+	return ix
+}
+
+// Lookup is the pure-Go reference probe.
+func (ix *Index) Lookup(key uint64) (rid uint64, found bool) {
+	cur := ix.img.R64(ix.HeadAddr(ix.BucketOf(key)))
+	for cur != 0 {
+		if ix.img.R64(cur) == key {
+			return ix.img.R64(cur + 8), true
+		}
+		cur = ix.img.R64(cur + 16)
+	}
+	return 0, false
+}
+
+// Nodes returns the number of index nodes.
+func (ix *Index) Nodes() int { return ix.nodes }
+
+// Profile describes a probe workload in the style of one TPC-H query.
+type Profile struct {
+	Name         string
+	HashCycles   int     // datapath hashing cost per probe (string keys ≈ 60)
+	ZipfS        float64 // probe skew (1.01 ≈ mild, 1.4 ≈ heavy reuse)
+	AbsentFrac   float64 // fraction of probes for keys not in the index
+	ProbesPerKey float64 // trace length = ProbesPerKey × |keys|
+}
+
+// TPCH returns the paper's three query profiles. 19 and 20 carry
+// string-key hashing (≈60 cycles on the baseline datapath); 22 is
+// numeric. Skews differ so hit rates differ across queries.
+func TPCH() []Profile {
+	return []Profile{
+		{Name: "TPC-H-19", HashCycles: 60, ZipfS: 1.35, AbsentFrac: 0.02, ProbesPerKey: 4},
+		{Name: "TPC-H-20", HashCycles: 60, ZipfS: 1.25, AbsentFrac: 0.05, ProbesPerKey: 4},
+		{Name: "TPC-H-22", HashCycles: 8, ZipfS: 1.15, AbsentFrac: 0.10, ProbesPerKey: 4},
+	}
+}
+
+// Trace generates a probe-key sequence over the index per the profile.
+func Trace(ix *Index, p Profile, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(len(ix.Keys)-1))
+	out := make([]uint64, n)
+	// Shuffle key identities so Zipf rank ≠ insertion order.
+	perm := rng.Perm(len(ix.Keys))
+	for i := range out {
+		if rng.Float64() < p.AbsentFrac {
+			out[i] = uint64(1<<40) + uint64(rng.Intn(1<<20)) // guaranteed absent
+			continue
+		}
+		out[i] = ix.Keys[perm[zipf.Uint64()]]
+	}
+	return out
+}
+
+// SeqKeys returns [1..n] shifted to avoid key 0 (0 is the null pointer in
+// node chains, not a legal key).
+func SeqKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package hashidx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/mem"
+)
+
+func TestBuildAndLookup(t *testing.T) {
+	img := mem.NewImage()
+	ix := Build(img, SeqKeys(100), 16)
+	for _, k := range SeqKeys(100) {
+		rid, ok := ix.Lookup(k)
+		if !ok || rid != 10*k+1 {
+			t.Fatalf("key %d: rid=%d ok=%v", k, rid, ok)
+		}
+	}
+	if _, ok := ix.Lookup(9999); ok {
+		t.Fatal("found absent key")
+	}
+	if ix.Nodes() != 100 {
+		t.Fatalf("nodes %d", ix.Nodes())
+	}
+}
+
+func TestDuplicateKeysIgnored(t *testing.T) {
+	img := mem.NewImage()
+	ix := Build(img, []uint64{5, 5, 5, 7}, 4)
+	if ix.Nodes() != 2 || len(ix.Keys) != 2 {
+		t.Fatalf("nodes=%d keys=%d", ix.Nodes(), len(ix.Keys))
+	}
+}
+
+func TestBucketDistributionAndChains(t *testing.T) {
+	img := mem.NewImage()
+	ix := Build(img, SeqKeys(1000), 256)
+	if ix.ChainMax > 30 {
+		t.Fatalf("pathological chain length %d", ix.ChainMax)
+	}
+	if ix.ChainTotal != 1000 {
+		t.Fatalf("chain total %d", ix.ChainTotal)
+	}
+	// Shift consistency: bucket must be < Buckets.
+	for _, k := range ix.Keys {
+		if ix.BucketOf(k) >= uint64(ix.Buckets) {
+			t.Fatalf("bucket %d out of range", ix.BucketOf(k))
+		}
+	}
+}
+
+// Property: every inserted key is findable with its rid; keys beyond the
+// insert set are absent.
+func TestLookupProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		img := mem.NewImage()
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1000) + 1)
+		}
+		ix := Build(img, keys, 32)
+		for _, k := range ix.Keys {
+			rid, ok := ix.Lookup(k)
+			if !ok || rid != 10*k+1 {
+				return false
+			}
+		}
+		_, ok := ix.Lookup(1 << 50)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRespectsProfile(t *testing.T) {
+	img := mem.NewImage()
+	ix := Build(img, SeqKeys(500), 128)
+	p := Profile{Name: "x", ZipfS: 1.3, AbsentFrac: 0.2}
+	tr := Trace(ix, p, 5000, 1)
+	absent, present := 0, 0
+	freq := map[uint64]int{}
+	for _, k := range tr {
+		if _, ok := ix.RIDs[k]; ok {
+			present++
+			freq[k]++
+		} else {
+			absent++
+		}
+	}
+	frac := float64(absent) / float64(len(tr))
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("absent fraction %v, want ≈0.2", frac)
+	}
+	// Zipf skew: the hottest key should be much hotter than average.
+	max := 0
+	for _, c := range freq {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*present/len(freq) {
+		t.Fatalf("no skew: max=%d avg=%d", max, present/len(freq))
+	}
+}
+
+func TestTPCHProfiles(t *testing.T) {
+	ps := TPCH()
+	if len(ps) != 3 {
+		t.Fatalf("profiles: %d", len(ps))
+	}
+	if ps[0].HashCycles != 60 || ps[1].HashCycles != 60 {
+		t.Fatal("string-key queries must carry the 60-cycle hash cost")
+	}
+	if ps[2].HashCycles >= 60 {
+		t.Fatal("TPC-H-22 is numeric-keyed; hash must be cheap")
+	}
+}
+
+func TestNodesAlignedForBlockAccess(t *testing.T) {
+	img := mem.NewImage()
+	ix := Build(img, SeqKeys(50), 8)
+	for _, k := range ix.Keys {
+		cur := img.R64(ix.HeadAddr(ix.BucketOf(k)))
+		for cur != 0 {
+			if cur%32 != 0 {
+				t.Fatalf("node at %#x not 32B aligned", cur)
+			}
+			cur = img.R64(cur + 16)
+		}
+	}
+}

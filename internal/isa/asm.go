@@ -1,0 +1,261 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses one routine's worth of microcode source. Syntax:
+//
+//	; comment                 — also '#' and '//' comments
+//	label:                    — branch targets, local to this routine
+//	  addi r3, r1, -8
+//	  lde r4, e0              — environment operand 0
+//	  beq r3, r4, match
+//	  state WAIT_FILL         — names resolved through syms
+//
+// syms maps names (states, events, response statuses, DSA constants) to
+// immediate values. Branch targets become routine-relative instruction
+// indices.
+func Assemble(src string, syms map[string]int64) ([]Instr, error) {
+	type fixup struct {
+		instr int
+		label string
+		line  int
+	}
+	var (
+		prog   []Instr
+		labels = map[string]int{}
+		fixups []fixup
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:colon])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("line %d: bad label %q", lineNo+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		mnemonic, rest := splitMnemonic(line)
+		op, ok := opByName(mnemonic)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown op %q", lineNo+1, mnemonic)
+		}
+		operands := splitOperands(rest)
+		in := Instr{Op: op}
+		shape := op.OpShape()
+		want := operandCount(shape)
+		if len(operands) != want {
+			return nil, fmt.Errorf("line %d: %s takes %d operands, got %d", lineNo+1, op.Name(), want, len(operands))
+		}
+		parseReg := func(s string, into *uint8) error {
+			r, err := regIndex(s)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			*into = r
+			return nil
+		}
+		parseImm := func(s string) error {
+			v, err := immValue(s, syms)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo+1, err)
+			}
+			if v < ImmMin || v > ImmMax {
+				return fmt.Errorf("line %d: immediate %d out of range", lineNo+1, v)
+			}
+			in.Imm = int32(v)
+			return nil
+		}
+		parseLabel := func(s string) error {
+			if v, err := immValue(s, syms); err == nil {
+				in.Imm = int32(v)
+				return nil
+			}
+			if !isIdent(s) {
+				return fmt.Errorf("line %d: bad branch target %q", lineNo+1, s)
+			}
+			fixups = append(fixups, fixup{instr: len(prog), label: s, line: lineNo + 1})
+			return nil
+		}
+		var err error
+		switch shape {
+		case ShapeNone:
+		case ShapeR:
+			err = parseReg(operands[0], &in.Dst)
+		case ShapeRR:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				err = parseReg(operands[1], &in.A)
+			}
+		case ShapeRRR:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				if err = parseReg(operands[1], &in.A); err == nil {
+					err = parseReg(operands[2], &in.B)
+				}
+			}
+		case ShapeRI:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				err = parseImm(operands[1])
+			}
+		case ShapeRRI:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				if err = parseReg(operands[1], &in.A); err == nil {
+					err = parseImm(operands[2])
+				}
+			}
+		case ShapeI:
+			err = parseImm(operands[0])
+		case ShapeL:
+			err = parseLabel(operands[0])
+		case ShapeRL:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				err = parseLabel(operands[1])
+			}
+		case ShapeRRL:
+			if err = parseReg(operands[0], &in.Dst); err == nil {
+				if err = parseReg(operands[1], &in.A); err == nil {
+					err = parseLabel(operands[2])
+				}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int32(target)
+	}
+	return prog, nil
+}
+
+// Disassemble renders a routine as text, one instruction per line.
+func Disassemble(prog []Instr) string {
+	var b strings.Builder
+	for pc, in := range prog {
+		fmt.Fprintf(&b, "%3d: %s\n", pc, in.String())
+	}
+	return b.String()
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func splitMnemonic(line string) (mnemonic, rest string) {
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		return strings.ToLower(line[:i]), line[i+1:]
+	}
+	return strings.ToLower(line), ""
+}
+
+func splitOperands(rest string) []string {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	parts := strings.Split(rest, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func operandCount(s Shape) int {
+	switch s {
+	case ShapeNone:
+		return 0
+	case ShapeR, ShapeI, ShapeL:
+		return 1
+	case ShapeRR, ShapeRI, ShapeRL:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func regIndex(s string) (uint8, error) {
+	s = strings.ToLower(s)
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func immValue(s string, syms map[string]int64) (int64, error) {
+	ls := strings.ToLower(s)
+	// Environment operand shorthand: e0..e15.
+	if len(ls) >= 2 && ls[0] == 'e' {
+		if n, err := strconv.Atoi(ls[1:]); err == nil && n >= 0 && n < 16 {
+			return int64(n), nil
+		}
+	}
+	if v, err := strconv.ParseInt(ls, 0, 64); err == nil {
+		return v, nil
+	}
+	if syms != nil {
+		if v, ok := syms[s]; ok {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("unresolvable immediate %q", s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func opByName(name string) (Op, bool) {
+	for op := Op(1); op < opMax; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}

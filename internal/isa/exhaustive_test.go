@@ -1,0 +1,149 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestEveryOpAssembles builds a syntactically valid instance of every op
+// and round-trips it through the assembler, encoder and disassembler.
+func TestEveryOpAssembles(t *testing.T) {
+	syms := map[string]int64{"S": 1}
+	for op := Op(1); op < opMax; op++ {
+		var src string
+		switch op.OpShape() {
+		case ShapeNone:
+			src = op.Name()
+		case ShapeR:
+			src = op.Name() + " r3"
+		case ShapeRR:
+			src = op.Name() + " r3, r4"
+		case ShapeRRR:
+			src = op.Name() + " r3, r4, r5"
+		case ShapeRI:
+			src = op.Name() + " r3, 7"
+		case ShapeRRI:
+			src = op.Name() + " r3, r4, 7"
+		case ShapeI:
+			src = op.Name() + " 1"
+		case ShapeL:
+			src = "x: " + op.Name() + " x"
+		case ShapeRL:
+			src = "x: " + op.Name() + " r3, x"
+		case ShapeRRL:
+			src = "x: " + op.Name() + " r3, r4, x"
+		}
+		prog, err := Assemble(src, syms)
+		if err != nil {
+			t.Errorf("%s: %v", op.Name(), err)
+			continue
+		}
+		if prog[0].Op != op {
+			t.Errorf("%s assembled to %s", op.Name(), prog[0].Op.Name())
+		}
+		// Encode/decode round trip.
+		got := Decode(prog[0].Encode())
+		if got.Op != op {
+			t.Errorf("%s: encode/decode changed op to %s", op.Name(), got.Op.Name())
+		}
+		// Disassembly re-assembles to the same instruction (branch targets
+		// print as @N which the assembler reads as absolute immediates).
+		dis := strings.TrimSpace(prog[0].String())
+		dis = strings.ReplaceAll(dis, "@", "")
+		prog2, err := Assemble(dis, syms)
+		if err != nil {
+			t.Errorf("%s: disassembly %q did not re-assemble: %v", op.Name(), dis, err)
+			continue
+		}
+		if prog2[0].Encode() != prog[0].Encode() {
+			t.Errorf("%s: disassembly round trip %q changed encoding", op.Name(), dis)
+		}
+	}
+}
+
+// TestCategoryCoverage pins every op to its hardware module category so
+// category drift (which changes energy accounting) is caught.
+func TestCategoryCoverage(t *testing.T) {
+	want := map[Category][]Op{
+		CatAGEN:    {OpAdd, OpAnd, OpOr, OpXor, OpAddi, OpInc, OpDec, OpShl, OpShr, OpSra, OpSrl, OpNot, OpAllocR, OpMul, OpLi, OpMov, OpLde},
+		CatQueue:   {OpEnqFill, OpEnqFillI, OpEnqWb, OpEnqResp, OpEnqEv, OpPeek, OpDeq},
+		CatMeta:    {OpAllocM, OpDeallocM, OpUpdate, OpState, OpHalt, OpAbort},
+		CatControl: {OpBmiss, OpBhit, OpBeq, OpBnz, OpBlt, OpBge, OpBle, OpJmp},
+		CatDataRAM: {OpAllocD, OpAllocDI, OpDeallocD, OpReadD, OpWriteD},
+	}
+	covered := 0
+	for cat, ops := range want {
+		for _, op := range ops {
+			if op.Category() != cat {
+				t.Errorf("%s: category %v, want %v", op.Name(), op.Category(), cat)
+			}
+			covered++
+		}
+	}
+	if covered != int(opMax)-1 {
+		t.Errorf("category table covers %d ops, ISA has %d", covered, opMax-1)
+	}
+	for _, cat := range []Category{CatAGEN, CatQueue, CatMeta, CatControl, CatDataRAM} {
+		if cat.String() == "?" {
+			t.Errorf("category %d has no name", cat)
+		}
+	}
+}
+
+func TestOpNamesUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(1); op < opMax; op++ {
+		name := op.Name()
+		if name == "" || strings.HasPrefix(name, "op") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q shared by %d and %d", name, prev, op)
+		}
+		seen[name] = op
+	}
+}
+
+func TestDisassembleStable(t *testing.T) {
+	src := "li r1, -5\nshl r2, r1, 63\nbeq r1, r2, 0"
+	p1, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := Disassemble(p1)
+	// Disassembling twice is identical (no hidden state).
+	if d2 := Disassemble(p1); d1 != d2 {
+		t.Fatal("disassembly not deterministic")
+	}
+	if !strings.Contains(d1, "li r1, -5") {
+		t.Fatalf("negative immediate lost:\n%s", d1)
+	}
+}
+
+func TestWordBytesMatchesEncoding(t *testing.T) {
+	if WordBytes != 4 {
+		t.Fatalf("WordBytes %d; encoding is 32-bit", WordBytes)
+	}
+	var w interface{} = Instr{Op: OpAdd}.Encode()
+	if _, ok := w.(uint32); !ok {
+		t.Fatalf("encoding is %T, want uint32", w)
+	}
+}
+
+func ExampleAssemble() {
+	prog, _ := Assemble(`
+		lde r4, e0
+		shl r5, r1, 3
+		add r5, r4, r5
+		enqfilli r5, 1
+		state WAIT
+	`, map[string]int64{"WAIT": 2})
+	fmt.Print(Disassemble(prog))
+	// Output:
+	//   0: lde r4, 0
+	//   1: shl r5, r1, 3
+	//   2: add r5, r4, r5
+	//   3: enqfilli r5, 1
+	//   4: state 2
+}

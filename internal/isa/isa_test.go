@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	for op := Op(1); op < opMax; op++ {
+		in := Instr{Op: op, Dst: 3, A: 7, Imm: -5}
+		if op.OpShape() == ShapeRRR {
+			in.Imm = 0
+			in.B = 9
+		}
+		got := Decode(in.Encode())
+		if got.Op != in.Op || got.Dst != in.Dst || got.A != in.A || got.B != in.B || got.Imm != in.Imm {
+			t.Errorf("%s: round trip %+v -> %+v", op.Name(), in, got)
+		}
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(opRaw, dst, a, b uint8, imm int16) bool {
+		op := Op(opRaw%uint8(opMax-1)) + 1
+		in := Instr{Op: op, Dst: dst & 0x1f, A: a & 0x1f}
+		if op.OpShape() == ShapeRRR {
+			in.B = b & 0x1f
+		} else {
+			in.Imm = int32(imm)
+		}
+		got := Decode(in.Encode())
+		return got.Op == in.Op && got.Dst == in.Dst && got.A == in.A &&
+			got.B == in.B && got.Imm == in.Imm
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImmediateRangeEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range immediate")
+		}
+	}()
+	Instr{Op: OpAddi, Imm: 40000}.Encode()
+}
+
+func TestCategories(t *testing.T) {
+	cases := map[Op]Category{
+		OpAdd:      CatAGEN,
+		OpAllocR:   CatAGEN,
+		OpLde:      CatAGEN,
+		OpEnqFill:  CatQueue,
+		OpPeek:     CatQueue,
+		OpAllocM:   CatMeta,
+		OpHalt:     CatMeta,
+		OpBeq:      CatControl,
+		OpJmp:      CatControl,
+		OpAllocD:   CatDataRAM,
+		OpWriteD:   CatDataRAM,
+		OpDeallocD: CatDataRAM,
+	}
+	for op, want := range cases {
+		if got := op.Category(); got != want {
+			t.Errorf("%s: category %v, want %v", op.Name(), got, want)
+		}
+	}
+}
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+	; hash and fetch
+	lde r4, e0        ; table base
+	shl r5, r1, 3
+	add r5, r4, r5
+	enqfilli r5, 1
+	state WAIT
+	`
+	prog, err := Assemble(src, map[string]int64{"WAIT": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 5 {
+		t.Fatalf("got %d instrs", len(prog))
+	}
+	if prog[0].Op != OpLde || prog[0].Dst != 4 || prog[0].Imm != 0 {
+		t.Fatalf("lde parsed as %+v", prog[0])
+	}
+	if prog[3].Op != OpEnqFillI || prog[3].Dst != 5 || prog[3].Imm != 1 {
+		t.Fatalf("enqfilli parsed as %+v", prog[3])
+	}
+	if prog[4].Op != OpState || prog[4].Imm != 2 {
+		t.Fatalf("state parsed as %+v", prog[4])
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	src := `
+	top:
+	  dec r2
+	  bnz r2, top
+	  beq r1, r3, done
+	  jmp top
+	done:
+	  halt VALID
+	`
+	prog, err := Assemble(src, map[string]int64{"VALID": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog[1].Op != OpBnz || prog[1].Imm != 0 {
+		t.Fatalf("bnz target: %+v", prog[1])
+	}
+	if prog[2].Op != OpBeq || prog[2].Imm != 4 {
+		t.Fatalf("beq target: %+v", prog[2])
+	}
+	if prog[3].Op != OpJmp || prog[3].Imm != 0 {
+		t.Fatalf("jmp target: %+v", prog[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"frobnicate r1", "unknown op"},
+		{"add r1, r2", "takes 3 operands"},
+		{"add r1, r2, 7", "expected register"},
+		{"bnz r1, nowhere", "undefined label"},
+		{"li r1, BOGUS", "unresolvable"},
+		{"li r40, 1", "bad register"},
+		{"li r1, 99999", "out of range"},
+		{"x: x: add r1, r2, r3", "duplicate label"},
+		{"9bad: add r1, r2, r3", "bad label"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src, nil); err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("src %q: err=%v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+	  li r1, 5
+	loop:
+	  addi r2, r2, 8
+	  dec r1
+	  bnz r1, loop
+	  allocm
+	  allocdi r6, 2
+	  update r6, r1
+	  writed r6, r2
+	  enqresp r2, 0
+	  halt 1
+	`
+	prog, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(prog)
+	for _, want := range []string{"li r1, 5", "bnz r1, @1", "allocm", "writed r6, r2", "halt 1"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestTerminalOps(t *testing.T) {
+	for _, op := range []Op{OpState, OpHalt, OpAbort} {
+		if !op.IsTerminal() {
+			t.Errorf("%s should be terminal", op.Name())
+		}
+	}
+	if OpAdd.IsTerminal() || OpEnqResp.IsTerminal() {
+		t.Error("non-terminal op reported terminal")
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	for _, op := range []Op{OpBmiss, OpBhit, OpBeq, OpBnz, OpBlt, OpBge, OpBle, OpJmp} {
+		if !op.IsBranch() {
+			t.Errorf("%s should be a branch", op.Name())
+		}
+	}
+	if OpAddi.IsBranch() || OpState.IsBranch() {
+		t.Error("non-branch op reported branch")
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := "li r1, 1 ; semi\nli r2, 2 # hash\nli r3, 3 // slashes\nhalt 0"
+	prog, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 4 {
+		t.Fatalf("got %d instrs, want 4", len(prog))
+	}
+}

@@ -1,0 +1,90 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	im := NewImage()
+	a := im.Alloc(24, 8)
+	b := im.Alloc(100, 64)
+	c := im.Alloc(8, 8)
+	if a%8 != 0 || b%64 != 0 || c%8 != 0 {
+		t.Fatalf("misaligned allocations: %#x %#x %#x", a, b, c)
+	}
+	if a == 0 {
+		t.Fatal("allocation at null address")
+	}
+	if b < a+24 || c < b+100 {
+		t.Fatalf("overlapping allocations: a=%#x b=%#x c=%#x", a, b, c)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	im := NewImage()
+	base := im.AllocWords(4)
+	im.WriteWords(base, []uint64{1, 0, 3, ^uint64(0)})
+	got := im.ReadWords(base, 4)
+	want := []uint64{1, 0, 3, ^uint64(0)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("word %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	im := NewImage()
+	base := im.AllocWords(2)
+	if im.R64(base) != 0 || im.R64(base+8) != 0 {
+		t.Fatal("fresh allocation not zeroed")
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	im := NewImage()
+	for _, f := range []func(){
+		func() { im.R64(3) },
+		func() { im.W64(5, 1) },
+		func() { im.Alloc(8, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroWritesDoNotGrowFootprint(t *testing.T) {
+	im := NewImage()
+	base := im.AllocWords(100)
+	for i := 0; i < 100; i++ {
+		im.W64(base+uint64(i)*8, 0)
+	}
+	if im.Footprint() != 0 {
+		t.Fatalf("footprint %d after zero writes", im.Footprint())
+	}
+	im.W64(base, 9)
+	im.W64(base, 0)
+	if im.Footprint() != 0 {
+		t.Fatalf("footprint %d after overwrite with zero", im.Footprint())
+	}
+}
+
+// Property: any written word reads back, at any word-aligned address.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(slot uint16, v uint64) bool {
+		im := NewImage()
+		addr := uint64(slot) * WordBytes
+		im.W64(addr, v)
+		return im.R64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package metatag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/energy"
+	"xcache/internal/program"
+)
+
+func newArray(sets, ways int) *Array {
+	return New(Config{Sets: sets, Ways: ways, KeyWords: 2}, &energy.Counters{})
+}
+
+func TestLookupAfterAlloc(t *testing.T) {
+	a := newArray(16, 4)
+	k := Key{42, 7}
+	e, ev, ok := a.Alloc(k, program.StateFirstCustom, 3)
+	if !ok || ev != nil {
+		t.Fatalf("alloc: ok=%v ev=%v", ok, ev)
+	}
+	if e.State != program.StateFirstCustom || e.Walker != 3 {
+		t.Fatalf("entry: %+v", e)
+	}
+	got := a.Lookup(k)
+	if got != e {
+		t.Fatal("lookup did not find allocated entry")
+	}
+	if a.Lookup(Key{42, 8}) != nil {
+		t.Fatal("lookup matched wrong second key word")
+	}
+}
+
+func TestKeyWords1IgnoresSecondWord(t *testing.T) {
+	a := New(Config{Sets: 16, Ways: 2, KeyWords: 1}, nil)
+	a.Alloc(Key{5, 0}, program.StateValid, NoWalker)
+	if a.Lookup(Key{5, 99}) == nil {
+		t.Fatal("KeyWords=1 must compare only the first word")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 1 set, 2 ways.
+	a := newArray(1, 2)
+	e1, _, _ := a.Alloc(Key{1, 0}, program.StateValid, NoWalker)
+	e1.SectorBase, e1.SectorCount = 10, 2
+	e2, _, _ := a.Alloc(Key{2, 0}, program.StateValid, NoWalker)
+	_ = e2
+	a.Touch(a.Lookup(Key{1, 0})) // make key 1 MRU
+	_, ev, ok := a.Alloc(Key{3, 0}, program.StateValid, NoWalker)
+	if !ok || ev == nil {
+		t.Fatalf("expected eviction, ok=%v ev=%v", ok, ev)
+	}
+	if ev.Key != (Key{2, 0}) {
+		t.Fatalf("evicted %v, want key 2 (LRU)", ev.Key)
+	}
+	if a.Lookup(Key{1, 0}) == nil || a.Lookup(Key{3, 0}) == nil {
+		t.Fatal("survivors missing")
+	}
+	if a.Lookup(Key{2, 0}) != nil {
+		t.Fatal("evicted key still present")
+	}
+}
+
+func TestEvictionCarriesSectorsAndDirty(t *testing.T) {
+	a := newArray(1, 1)
+	e, _, _ := a.Alloc(Key{1, 0}, program.StateValid, NoWalker)
+	e.SectorBase, e.SectorCount, e.Dirty = 7, 3, true
+	_, ev, ok := a.Alloc(Key{2, 0}, program.StateValid, NoWalker)
+	if !ok || ev == nil || !ev.Dirty || ev.SectorBase != 7 || ev.SectorCount != 3 {
+		t.Fatalf("eviction record: %+v ok=%v", ev, ok)
+	}
+	if a.Stats().DirtyEvict != 1 {
+		t.Fatalf("dirty evict stat %d", a.Stats().DirtyEvict)
+	}
+}
+
+func TestTransientEntriesNotEvicted(t *testing.T) {
+	a := newArray(1, 2)
+	a.Alloc(Key{1, 0}, program.StateFirstCustom, 0) // walker 0 active
+	a.Alloc(Key{2, 0}, program.StateFirstCustom, 1) // walker 1 active
+	_, _, ok := a.Alloc(Key{3, 0}, program.StateValid, NoWalker)
+	if ok {
+		t.Fatal("alloc succeeded with all ways transient")
+	}
+	if a.Stats().AllocFails != 1 {
+		t.Fatalf("alloc fails %d", a.Stats().AllocFails)
+	}
+	// Settle one walker; alloc must now succeed, evicting it.
+	e := a.Lookup(Key{1, 0})
+	e.State = program.StateValid
+	e.Walker = NoWalker
+	_, ev, ok := a.Alloc(Key{3, 0}, program.StateValid, NoWalker)
+	if !ok || ev == nil || ev.Key != (Key{1, 0}) {
+		t.Fatalf("post-settle alloc: ok=%v ev=%+v", ok, ev)
+	}
+}
+
+func TestDealloc(t *testing.T) {
+	a := newArray(4, 2)
+	e, _, _ := a.Alloc(Key{9, 9}, program.StateFirstCustom, 0)
+	a.Dealloc(e)
+	if a.Lookup(Key{9, 9}) != nil {
+		t.Fatal("dealloc left entry visible")
+	}
+	if a.Live() != 0 {
+		t.Fatalf("live=%d", a.Live())
+	}
+}
+
+func TestDuplicateAllocPanics(t *testing.T) {
+	a := newArray(4, 2)
+	a.Alloc(Key{1, 1}, program.StateValid, NoWalker)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate alloc")
+		}
+	}()
+	a.Alloc(Key{1, 1}, program.StateValid, NoWalker)
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := &energy.Counters{}
+	a := New(Config{Sets: 4, Ways: 2, SigBytes: 2, TagBytes: 10}, m)
+	a.Lookup(Key{1, 0})
+	if m.TagBytes != 2 {
+		t.Fatalf("lookup charged %d tag bytes, want 2", m.TagBytes)
+	}
+	a.Alloc(Key{1, 0}, program.StateValid, NoWalker)
+	if m.TagBytes != 12 {
+		t.Fatalf("alloc charged to %d, want 12", m.TagBytes)
+	}
+	a.Update()
+	if m.TagBytes != 12+StateBytes {
+		t.Fatalf("update charged to %d, want %d (narrow state write)", m.TagBytes, 12+StateBytes)
+	}
+}
+
+// Property: under random alloc/dealloc/lookup sequences, (1) live count
+// never exceeds capacity, (2) every key reported live is findable, (3) no
+// key is present twice (Alloc would panic), (4) hits+misses == lookups.
+func TestArrayInvariantsProperty(t *testing.T) {
+	f := func(seed int64, ops uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := newArray(8, 2)
+		live := map[Key]*Entry{}
+		for i := 0; i < int(ops%500)+50; i++ {
+			k := Key{uint64(rng.Intn(40)), 0}
+			switch rng.Intn(3) {
+			case 0: // alloc if absent
+				if _, ok := live[k]; ok {
+					continue
+				}
+				e, ev, ok := a.Alloc(k, program.StateValid, NoWalker)
+				if !ok {
+					return false // no transient entries here; must succeed
+				}
+				if ev != nil {
+					delete(live, ev.Key)
+				}
+				live[k] = e
+			case 1: // dealloc if present
+				if e, ok := live[k]; ok {
+					a.Dealloc(e)
+					delete(live, k)
+				}
+			case 2: // lookup must agree with model
+				got := a.Lookup(k)
+				_, want := live[k]
+				if (got != nil) != want {
+					return false
+				}
+			}
+			if a.Live() != len(live) || a.Live() > a.Capacity() {
+				return false
+			}
+		}
+		st := a.Stats()
+		return st.Hits+st.Misses == st.Lookups
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachVisitsAllLive(t *testing.T) {
+	a := newArray(8, 4)
+	for i := 0; i < 20; i++ {
+		a.Alloc(Key{uint64(i), 0}, program.StateValid, NoWalker)
+	}
+	n := 0
+	a.ForEach(func(e *Entry) { n++ })
+	if n != a.Live() {
+		t.Fatalf("ForEach visited %d, live %d", n, a.Live())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{{Sets: 3, Ways: 1}, {Sets: 0, Ways: 1}, {Sets: 4, Ways: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cfg %+v: expected panic", cfg)
+				}
+			}()
+			New(cfg, nil)
+		}()
+	}
+}

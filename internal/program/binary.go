@@ -1,0 +1,158 @@
+package program
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"xcache/internal/isa"
+)
+
+// The microcode binary is the artifact the X-Cache toolflow loads into
+// the controller's routine table and microcode RAM (Fig 12: "a compiler
+// that ... translates them into a microcode binary that runs on a
+// programmable controller"). Layout (little endian):
+//
+//	magic   [4]byte "XCuC"
+//	version u16
+//	nameLen u16, name bytes
+//	states  u16, events u16
+//	per state name:  u16 len + bytes
+//	per event name:  u16 len + bytes
+//	table   states×events × i32 (routine start or -1)
+//	codeLen u32, code words u32 each
+const (
+	binMagic   = "XCuC"
+	binVersion = 1
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *Program) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(binMagic)
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
+	wstr := func(s string) {
+		if len(s) > 0xffff {
+			s = s[:0xffff]
+		}
+		w(uint16(len(s)))
+		b.WriteString(s)
+	}
+	w(uint16(binVersion))
+	wstr(p.Name)
+	w(uint16(p.NumStates()))
+	w(uint16(p.NumEvents()))
+	for _, n := range p.StateNames {
+		wstr(n)
+	}
+	for _, n := range p.EventNames {
+		wstr(n)
+	}
+	for _, row := range p.Table {
+		for _, pc := range row {
+			w(pc)
+		}
+	}
+	w(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		w(in.Encode())
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, rebuilding the
+// routine table, name maps and decoded microcode.
+func (p *Program) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != binMagic {
+		return fmt.Errorf("program: bad magic %q", magic)
+	}
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	rstr := func() (string, error) {
+		var n uint16
+		if err := rd(&n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := r.Read(buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	var version uint16
+	if err := rd(&version); err != nil {
+		return err
+	}
+	if version != binVersion {
+		return fmt.Errorf("program: unsupported binary version %d", version)
+	}
+	var err error
+	if p.Name, err = rstr(); err != nil {
+		return err
+	}
+	var states, events uint16
+	if err := rd(&states); err != nil {
+		return err
+	}
+	if err := rd(&events); err != nil {
+		return err
+	}
+	if states == 0 || events == 0 || states > 256 || events > 256 {
+		return fmt.Errorf("program: implausible table %d×%d", states, events)
+	}
+	p.StateNames = make([]string, states)
+	p.EventNames = make([]string, events)
+	p.StateIDs = map[string]int{}
+	p.EventIDs = map[string]int{}
+	for i := range p.StateNames {
+		if p.StateNames[i], err = rstr(); err != nil {
+			return err
+		}
+		p.StateIDs[p.StateNames[i]] = i
+	}
+	for i := range p.EventNames {
+		if p.EventNames[i], err = rstr(); err != nil {
+			return err
+		}
+		p.EventIDs[p.EventNames[i]] = i
+	}
+	p.Table = make([][]int32, states)
+	p.Starts = nil
+	for st := range p.Table {
+		p.Table[st] = make([]int32, events)
+		for ev := range p.Table[st] {
+			if err := rd(&p.Table[st][ev]); err != nil {
+				return err
+			}
+		}
+	}
+	var codeLen uint32
+	if err := rd(&codeLen); err != nil {
+		return err
+	}
+	if codeLen > 1<<20 {
+		return fmt.Errorf("program: implausible code length %d", codeLen)
+	}
+	p.Code = make([]isa.Instr, codeLen)
+	for i := range p.Code {
+		var w uint32
+		if err := rd(&w); err != nil {
+			return err
+		}
+		p.Code[i] = isa.Decode(w)
+	}
+	// Validate routine pointers and rebuild Starts.
+	for st := range p.Table {
+		for ev, pc := range p.Table[st] {
+			if pc == -1 {
+				continue
+			}
+			if pc < 0 || int(pc) >= len(p.Code) {
+				return fmt.Errorf("program: routine pointer (%d,%d)=%d outside code", st, ev, pc)
+			}
+			p.Starts = append(p.Starts, pc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/isa"
+)
+
+// TestCompileRandomSpecs generates random (but well-formed) walker specs
+// and checks compiler invariants: every declared transition is reachable
+// through Lookup, routine starts are disjoint and ordered, and code size
+// is the sum of routine lengths.
+func TestCompileRandomSpecs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nStates := rng.Intn(4) + 1
+		nEvents := rng.Intn(3)
+		s := Spec{Name: "fuzz"}
+		for i := 0; i < nStates; i++ {
+			s.States = append(s.States, fmt.Sprintf("S%d", i))
+		}
+		for i := 0; i < nEvents; i++ {
+			s.Events = append(s.Events, fmt.Sprintf("E%d", i))
+		}
+		allStates := append([]string{"Default"}, s.States...)
+		allEvents := append([]string{"MetaLoad", "MetaStore", "Fill", "Retry"}, s.Events...)
+		type key struct{ st, ev string }
+		used := map[key]bool{}
+		// Always include the required miss entry point.
+		s.Transitions = append(s.Transitions, Transition{
+			State: "Default", Event: "MetaLoad", Asm: randomRoutine(rng, allStates),
+		})
+		used[key{"Default", "MetaLoad"}] = true
+		for i := 0; i < rng.Intn(6); i++ {
+			st := allStates[rng.Intn(len(allStates))]
+			ev := allEvents[rng.Intn(len(allEvents))]
+			if used[key{st, ev}] {
+				continue
+			}
+			used[key{st, ev}] = true
+			s.Transitions = append(s.Transitions, Transition{State: st, Event: ev,
+				Asm: randomRoutine(rng, allStates)})
+		}
+
+		p, err := s.Compile()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Every transition resolvable, all starts valid and distinct.
+		seen := map[int32]bool{}
+		for _, tr := range s.Transitions {
+			pc, ok := p.Lookup(p.StateIDs[tr.State], p.EventIDs[tr.Event])
+			if !ok || pc < 0 || int(pc) >= len(p.Code) {
+				return false
+			}
+			if seen[pc] {
+				return false
+			}
+			seen[pc] = true
+		}
+		// Undeclared transitions are absent.
+		if _, ok := p.Lookup(StateValid, EvRetry); ok && !used[key{"Valid", "Retry"}] {
+			return false
+		}
+		return p.CodeBytes() == len(p.Code)*isa.WordBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomRoutine emits a small legal routine ending in a terminal action.
+func randomRoutine(rng *rand.Rand, states []string) string {
+	var b strings.Builder
+	for i := 0; i < rng.Intn(5); i++ {
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "addi r%d, r%d, %d\n", rng.Intn(8)+4, rng.Intn(8)+4, rng.Intn(100))
+		case 1:
+			fmt.Fprintf(&b, "li r%d, %d\n", rng.Intn(8)+4, rng.Intn(1000))
+		case 2:
+			fmt.Fprintf(&b, "xor r%d, r%d, r%d\n", rng.Intn(8)+4, rng.Intn(8)+4, rng.Intn(8)+4)
+		case 3:
+			fmt.Fprintf(&b, "inc r%d\n", rng.Intn(8)+4)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		fmt.Fprintf(&b, "state %s\n", states[rng.Intn(len(states))])
+	case 1:
+		b.WriteString("halt Valid\n")
+	default:
+		b.WriteString("abort\n")
+	}
+	return b.String()
+}
+
+func TestRoutineTableDimensions(t *testing.T) {
+	s := Spec{
+		Name:   "dims",
+		States: []string{"A", "B", "C"},
+		Events: []string{"X", "Y"},
+		Transitions: []Transition{
+			{State: "Default", Event: "MetaLoad", Asm: "halt Valid"},
+		},
+	}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 5 { // Default, Valid, A, B, C
+		t.Fatalf("states %d", p.NumStates())
+	}
+	if p.NumEvents() != 6 { // 4 builtins + X, Y
+		t.Fatalf("events %d", p.NumEvents())
+	}
+	if p.TableEntries() != 30 {
+		t.Fatalf("table entries %d", p.TableEntries())
+	}
+}
+
+func TestLookupOutOfRange(t *testing.T) {
+	p, err := (Spec{Name: "x", Transitions: []Transition{
+		{State: "Default", Event: "MetaLoad", Asm: "halt Valid"},
+	}}).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {99, 0}, {0, 99}} {
+		if _, ok := p.Lookup(c[0], c[1]); ok {
+			t.Errorf("Lookup(%d,%d) reported a transition", c[0], c[1])
+		}
+	}
+}
+
+func TestStateAndEventNamesAligned(t *testing.T) {
+	s := Spec{Name: "n", States: []string{"Walk"}, Events: []string{"Go"},
+		Transitions: []Transition{{State: "Default", Event: "MetaLoad", Asm: "halt Valid"}}}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, id := range p.StateIDs {
+		if name == "Invalid" { // alias of Default
+			continue
+		}
+		if p.StateNames[id] != name {
+			t.Errorf("state %q maps to id %d named %q", name, id, p.StateNames[id])
+		}
+	}
+	for name, id := range p.EventIDs {
+		if p.EventNames[id] != name {
+			t.Errorf("event %q maps to id %d named %q", name, id, p.EventNames[id])
+		}
+	}
+}

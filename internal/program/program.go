@@ -1,0 +1,276 @@
+// Package program implements the walker compiler of the X-Cache toolflow
+// (Fig 12): it takes the table-driven walker specification the paper gives
+// designers — one line per (state, event) transition with the actions to
+// run — and compiles it into the three controller structures of Fig 8/9:
+// the trigger table (event ids), the routine table (a [state][event] array
+// of microcode pointers) and the microcode RAM image.
+package program
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xcache/internal/isa"
+)
+
+// Built-in walker states. Transient, walker-defined states are numbered
+// from StateFirstCustom upward by the compiler.
+const (
+	// StateInvalid ("Default") is the start state: no meta-tag entry
+	// exists, the routine fired by a miss runs from here.
+	StateInvalid = 0
+	// StateValid is the stable state in which the entry services hits
+	// through the dedicated hit pipeline.
+	StateValid = 1
+	// StateFirstCustom is the first id assigned to spec-defined states.
+	StateFirstCustom = 2
+)
+
+// Built-in events delivered by the controller front-end. Custom internal
+// events (raised with enqev) are numbered from EvFirstCustom upward.
+const (
+	// EvMetaLoad fires when a meta load misses (or targets an entry whose
+	// state has a transition defined for it).
+	EvMetaLoad = 0
+	// EvMetaStore fires when a meta store misses.
+	EvMetaStore = 1
+	// EvFill fires when a DRAM response for this walker arrives.
+	EvFill = 2
+	// EvRetry fires when a previously failed resource allocation should be
+	// retried.
+	EvRetry = 3
+	// EvFirstCustom is the first id assigned to spec-defined events.
+	EvFirstCustom = 4
+)
+
+// Response statuses a routine can pass to enqresp. These are visible to
+// the assembler in every routine.
+const (
+	StatusOK       = 0 // data present; value/sectors attached
+	StatusNotFound = 1 // walk completed without finding the element
+)
+
+var builtinSyms = map[string]int64{
+	"Default":  StateInvalid,
+	"Invalid":  StateInvalid,
+	"Valid":    StateValid,
+	"OK":       StatusOK,
+	"NOTFOUND": StatusNotFound,
+}
+
+var builtinEvents = map[string]int{
+	"MetaLoad":  EvMetaLoad,
+	"MetaStore": EvMetaStore,
+	"Fill":      EvFill,
+	"Retry":     EvRetry,
+}
+
+// Transition is one line of the walker specification: in state State, on
+// event Event, run the assembled Asm actions. Every routine must end in a
+// terminal action (state, halt or abort) on all paths.
+type Transition struct {
+	State string
+	Event string
+	Asm   string
+}
+
+// Spec is the designer-facing walker description.
+type Spec struct {
+	Name   string
+	States []string         // custom transient states (beyond Default/Valid)
+	Events []string         // custom internal events (beyond the built-ins)
+	Consts map[string]int64 // extra assembler symbols (DSA constants)
+
+	Transitions []Transition
+}
+
+// Program is the compiled controller image.
+type Program struct {
+	Name       string
+	StateIDs   map[string]int
+	EventIDs   map[string]int
+	StateNames []string
+	EventNames []string
+
+	// Table maps [state][event] to the microcode start index of the
+	// routine, or -1 when no transition is defined.
+	Table [][]int32
+	// Code is the microcode RAM image. Branch immediates inside a routine
+	// are routine-relative.
+	Code []isa.Instr
+	// Starts lists routine start offsets in Code, ascending (diagnostics).
+	Starts []int32
+}
+
+// Compile validates and lowers the spec.
+func (s Spec) Compile() (*Program, error) {
+	p := &Program{
+		Name:     s.Name,
+		StateIDs: map[string]int{"Default": StateInvalid, "Invalid": StateInvalid, "Valid": StateValid},
+		EventIDs: map[string]int{},
+	}
+	for name, id := range builtinEvents {
+		p.EventIDs[name] = id
+	}
+	for i, name := range s.States {
+		if _, dup := p.StateIDs[name]; dup {
+			return nil, fmt.Errorf("program %s: duplicate state %q", s.Name, name)
+		}
+		p.StateIDs[name] = StateFirstCustom + i
+	}
+	for i, name := range s.Events {
+		if _, dup := p.EventIDs[name]; dup {
+			return nil, fmt.Errorf("program %s: duplicate event %q", s.Name, name)
+		}
+		p.EventIDs[name] = EvFirstCustom + i
+	}
+	numStates := StateFirstCustom + len(s.States)
+	numEvents := EvFirstCustom + len(s.Events)
+	p.StateNames = make([]string, numStates)
+	p.StateNames[StateInvalid] = "Default"
+	p.StateNames[StateValid] = "Valid"
+	copy(p.StateNames[StateFirstCustom:], s.States)
+	p.EventNames = make([]string, numEvents)
+	for name, id := range builtinEvents {
+		p.EventNames[id] = name
+	}
+	copy(p.EventNames[EvFirstCustom:], s.Events)
+
+	syms := map[string]int64{}
+	for k, v := range builtinSyms {
+		syms[k] = v
+	}
+	for name, id := range p.StateIDs {
+		syms[name] = int64(id)
+	}
+	for name, id := range p.EventIDs {
+		syms[name] = int64(id)
+	}
+	for k, v := range s.Consts {
+		if _, dup := syms[k]; dup {
+			return nil, fmt.Errorf("program %s: const %q shadows a state/event/builtin", s.Name, k)
+		}
+		syms[k] = v
+	}
+
+	p.Table = make([][]int32, numStates)
+	for st := range p.Table {
+		p.Table[st] = make([]int32, numEvents)
+		for ev := range p.Table[st] {
+			p.Table[st][ev] = -1
+		}
+	}
+
+	for _, tr := range s.Transitions {
+		st, ok := p.StateIDs[tr.State]
+		if !ok {
+			return nil, fmt.Errorf("program %s: transition references undeclared state %q", s.Name, tr.State)
+		}
+		ev, ok := p.EventIDs[tr.Event]
+		if !ok {
+			return nil, fmt.Errorf("program %s: transition references undeclared event %q", s.Name, tr.Event)
+		}
+		if p.Table[st][ev] != -1 {
+			return nil, fmt.Errorf("program %s: duplicate transition (%s, %s)", s.Name, tr.State, tr.Event)
+		}
+		code, err := isa.Assemble(tr.Asm, syms)
+		if err != nil {
+			return nil, fmt.Errorf("program %s: (%s, %s): %v", s.Name, tr.State, tr.Event, err)
+		}
+		if err := validateRoutine(code, numStates); err != nil {
+			return nil, fmt.Errorf("program %s: (%s, %s): %v", s.Name, tr.State, tr.Event, err)
+		}
+		start := int32(len(p.Code))
+		p.Table[st][ev] = start
+		p.Starts = append(p.Starts, start)
+		p.Code = append(p.Code, code...)
+	}
+	if p.Table[StateInvalid][EvMetaLoad] == -1 && p.Table[StateInvalid][EvMetaStore] == -1 {
+		return nil, fmt.Errorf("program %s: no (Default, MetaLoad) or (Default, MetaStore) transition; misses cannot start", s.Name)
+	}
+	return p, nil
+}
+
+// validateRoutine enforces the execution model: branch targets stay inside
+// the routine, the routine cannot fall off its end, and state operands are
+// in range.
+func validateRoutine(code []isa.Instr, numStates int) error {
+	if len(code) == 0 {
+		return fmt.Errorf("empty routine")
+	}
+	for pc, in := range code {
+		if in.Op.IsBranch() {
+			if in.Imm < 0 || int(in.Imm) >= len(code) {
+				return fmt.Errorf("pc %d: branch target %d outside routine of %d actions", pc, in.Imm, len(code))
+			}
+		}
+		if (in.Op == isa.OpState || in.Op == isa.OpHalt) && (in.Imm < 0 || int(in.Imm) >= numStates) {
+			return fmt.Errorf("pc %d: state operand %d out of range", pc, in.Imm)
+		}
+	}
+	last := code[len(code)-1].Op
+	if !last.IsTerminal() && last != isa.OpJmp {
+		return fmt.Errorf("routine does not end in a terminal action (ends with %s)", last.Name())
+	}
+	return nil
+}
+
+// Lookup returns the routine start for (state, event), reporting whether a
+// transition is defined.
+func (p *Program) Lookup(state, event int) (int32, bool) {
+	if state < 0 || state >= len(p.Table) || event < 0 || event >= len(p.Table[state]) {
+		return -1, false
+	}
+	pc := p.Table[state][event]
+	return pc, pc >= 0
+}
+
+// NumStates returns the number of walker states including built-ins.
+func (p *Program) NumStates() int { return len(p.Table) }
+
+// NumEvents returns the number of events including built-ins.
+func (p *Program) NumEvents() int {
+	if len(p.Table) == 0 {
+		return 0
+	}
+	return len(p.Table[0])
+}
+
+// CodeBytes returns the microcode RAM footprint in bytes.
+func (p *Program) CodeBytes() int { return len(p.Code) * isa.WordBytes }
+
+// TableEntries returns the routine-table size (states × events).
+func (p *Program) TableEntries() int { return p.NumStates() * p.NumEvents() }
+
+// Dump renders the routine table and microcode for diagnostics and for
+// cmd/xcache-asm.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s: %d states × %d events, %d microcode words (%d B)\n",
+		p.Name, p.NumStates(), p.NumEvents(), len(p.Code), p.CodeBytes())
+	type row struct {
+		st, ev int
+		pc     int32
+	}
+	var rows []row
+	for st := range p.Table {
+		for ev, pc := range p.Table[st] {
+			if pc >= 0 {
+				rows = append(rows, row{st, ev, pc})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].pc < rows[j].pc })
+	for _, r := range rows {
+		end := len(p.Code)
+		for _, s := range p.Starts {
+			if int(s) > int(r.pc) && int(s) < end {
+				end = int(s)
+			}
+		}
+		fmt.Fprintf(&b, "\n[%s, %s] @%d:\n%s", p.StateNames[r.st], p.EventNames[r.ev], r.pc,
+			isa.Disassemble(p.Code[r.pc:end]))
+	}
+	return b.String()
+}

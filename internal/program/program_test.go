@@ -1,0 +1,192 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"xcache/internal/isa"
+)
+
+func minimalSpec() Spec {
+	return Spec{
+		Name:   "toy",
+		States: []string{"WaitFill"},
+		Consts: map[string]int64{"STRIDE": 8},
+		Transitions: []Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocm
+				lde r4, e0
+				shl r5, r1, 3
+				add r5, r4, r5
+				enqfilli r5, 1
+				state WaitFill
+			`},
+			{State: "WaitFill", Event: "Fill", Asm: `
+				peek r6, 0
+				allocdi r7, 1
+				writed r7, r6
+				li r8, 1
+				update r7, r8
+				enqresp r6, OK
+				halt Valid
+			`},
+		},
+	}
+}
+
+func TestCompileMinimal(t *testing.T) {
+	p, err := minimalSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumStates() != 3 {
+		t.Fatalf("states=%d want 3 (Default, Valid, WaitFill)", p.NumStates())
+	}
+	if p.NumEvents() != 4 {
+		t.Fatalf("events=%d want 4 builtins", p.NumEvents())
+	}
+	pc, ok := p.Lookup(StateInvalid, EvMetaLoad)
+	if !ok || pc != 0 {
+		t.Fatalf("miss routine at %d ok=%v", pc, ok)
+	}
+	wf := p.StateIDs["WaitFill"]
+	if wf != StateFirstCustom {
+		t.Fatalf("WaitFill id %d", wf)
+	}
+	pc2, ok := p.Lookup(wf, EvFill)
+	if !ok || pc2 != 6 {
+		t.Fatalf("fill routine at %d ok=%v", pc2, ok)
+	}
+	if _, ok := p.Lookup(StateValid, EvFill); ok {
+		t.Fatal("undefined transition reported present")
+	}
+	if p.CodeBytes() != 13*isa.WordBytes {
+		t.Fatalf("code bytes %d", p.CodeBytes())
+	}
+}
+
+func TestCompileResolvesStateNamesInAsm(t *testing.T) {
+	p, err := minimalSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last instruction of the miss routine must carry WaitFill's id.
+	in := p.Code[5]
+	if in.Op != isa.OpState || int(in.Imm) != p.StateIDs["WaitFill"] {
+		t.Fatalf("state instr: %+v", in)
+	}
+}
+
+func TestCompileCustomEvents(t *testing.T) {
+	s := Spec{
+		Name:   "ev",
+		States: []string{"Loop"},
+		Events: []string{"Kick"},
+		Transitions: []Transition{
+			{State: "Default", Event: "MetaLoad", Asm: "allocm\nenqev Kick\nstate Loop"},
+			{State: "Loop", Event: "Kick", Asm: "halt Valid"},
+		},
+	}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EventIDs["Kick"] != EvFirstCustom {
+		t.Fatalf("Kick id %d", p.EventIDs["Kick"])
+	}
+	if p.Code[1].Op != isa.OpEnqEv || int(p.Code[1].Imm) != EvFirstCustom {
+		t.Fatalf("enqev: %+v", p.Code[1])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	base := minimalSpec()
+
+	noTerm := base
+	noTerm.Transitions = []Transition{{State: "Default", Event: "MetaLoad", Asm: "allocm\naddi r1, r1, 1"}}
+	if _, err := noTerm.Compile(); err == nil || !strings.Contains(err.Error(), "terminal") {
+		t.Errorf("non-terminal routine: err=%v", err)
+	}
+
+	dup := base
+	dup.Transitions = append(dup.Transitions, dup.Transitions[0])
+	if _, err := dup.Compile(); err == nil || !strings.Contains(err.Error(), "duplicate transition") {
+		t.Errorf("duplicate transition: err=%v", err)
+	}
+
+	badState := base
+	badState.Transitions = []Transition{{State: "Nope", Event: "MetaLoad", Asm: "halt Valid"}}
+	if _, err := badState.Compile(); err == nil || !strings.Contains(err.Error(), "undeclared state") {
+		t.Errorf("undeclared state: err=%v", err)
+	}
+
+	badEvent := base
+	badEvent.Transitions = []Transition{{State: "Default", Event: "Nope", Asm: "halt Valid"}}
+	if _, err := badEvent.Compile(); err == nil || !strings.Contains(err.Error(), "undeclared event") {
+		t.Errorf("undeclared event: err=%v", err)
+	}
+
+	noMiss := Spec{Name: "x", States: []string{"S"},
+		Transitions: []Transition{{State: "S", Event: "Fill", Asm: "halt Valid"}}}
+	if _, err := noMiss.Compile(); err == nil || !strings.Contains(err.Error(), "misses cannot start") {
+		t.Errorf("missing miss routine: err=%v", err)
+	}
+
+	dupState := base
+	dupState.States = []string{"Valid"}
+	if _, err := dupState.Compile(); err == nil || !strings.Contains(err.Error(), "duplicate state") {
+		t.Errorf("state shadowing builtin: err=%v", err)
+	}
+
+	shadowConst := base
+	shadowConst.Consts = map[string]int64{"WaitFill": 3}
+	if _, err := shadowConst.Compile(); err == nil || !strings.Contains(err.Error(), "shadows") {
+		t.Errorf("const shadowing state: err=%v", err)
+	}
+
+	emptyRoutine := base
+	emptyRoutine.Transitions = []Transition{{State: "Default", Event: "MetaLoad", Asm: "; nothing"}}
+	if _, err := emptyRoutine.Compile(); err == nil || !strings.Contains(err.Error(), "empty routine") {
+		t.Errorf("empty routine: err=%v", err)
+	}
+}
+
+func TestBranchTargetBounds(t *testing.T) {
+	s := Spec{Name: "b", Transitions: []Transition{
+		{State: "Default", Event: "MetaLoad", Asm: "bnz r1, 9\nhalt Valid"},
+	}}
+	if _, err := s.Compile(); err == nil || !strings.Contains(err.Error(), "outside routine") {
+		t.Errorf("branch out of routine: err=%v", err)
+	}
+}
+
+func TestStateOperandBounds(t *testing.T) {
+	s := Spec{Name: "b", Transitions: []Transition{
+		{State: "Default", Event: "MetaLoad", Asm: "state 17"},
+	}}
+	if _, err := s.Compile(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("state id out of range: err=%v", err)
+	}
+}
+
+func TestDumpContainsRoutines(t *testing.T) {
+	p, err := minimalSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Dump()
+	for _, want := range []string{"[Default, MetaLoad] @0", "[WaitFill, Fill] @6", "allocm", "enqresp"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestJmpMayEndRoutine(t *testing.T) {
+	s := Spec{Name: "j", Transitions: []Transition{
+		{State: "Default", Event: "MetaLoad", Asm: "top: dec r1\nhalt Valid\njmp top"},
+	}}
+	if _, err := s.Compile(); err != nil {
+		t.Fatalf("jmp-terminated routine rejected: %v", err)
+	}
+}

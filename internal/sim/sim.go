@@ -1,0 +1,184 @@
+// Package sim provides the cycle-level simulation kernel that every
+// hardware structure in this repository is built on.
+//
+// The kernel advances a global cycle counter and ticks registered
+// components in a fixed order. All inter-component communication flows
+// through registered queues (Queue[T]): a value pushed during cycle N
+// becomes visible to poppers at cycle N+1, exactly like the
+// latency-insensitive queues the paper's Chisel generator emits. This
+// discipline makes results independent of component tick order, which is
+// what lets a software model stand in for RTL simulation.
+package sim
+
+import "fmt"
+
+// Cycle is a point in simulated time, measured in controller clock cycles.
+type Cycle uint64
+
+// Component is any ticked hardware structure. Tick is called exactly once
+// per cycle, in registration order.
+type Component interface {
+	Tick(c Cycle)
+}
+
+// ComponentFunc adapts a plain function to the Component interface.
+type ComponentFunc func(c Cycle)
+
+// Tick implements Component.
+func (f ComponentFunc) Tick(c Cycle) { f(c) }
+
+// committer is the internal interface queues implement so the kernel can
+// make staged pushes visible at the end of each cycle.
+type committer interface {
+	commit()
+}
+
+// Kernel owns simulated time. Components are ticked in registration order,
+// then all queues commit their staged pushes.
+type Kernel struct {
+	cycle  Cycle
+	comps  []Component
+	queues []committer
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Add registers a component. Components are ticked in the order added.
+func (k *Kernel) Add(c Component) { k.comps = append(k.comps, c) }
+
+// Cycle reports the current cycle (the number of completed steps).
+func (k *Kernel) Cycle() Cycle { return k.cycle }
+
+// Step advances simulated time by one cycle: every component ticks, then
+// every queue commits.
+func (k *Kernel) Step() {
+	for _, c := range k.comps {
+		c.Tick(k.cycle)
+	}
+	for _, q := range k.queues {
+		q.commit()
+	}
+	k.cycle++
+}
+
+// Run steps the kernel n times.
+func (k *Kernel) Run(n int) {
+	for i := 0; i < n; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil steps the kernel until done reports true or the budget of max
+// cycles is exhausted. It returns true if done became true.
+func (k *Kernel) RunUntil(done func() bool, max int) bool {
+	for i := 0; i < max; i++ {
+		if done() {
+			return true
+		}
+		k.Step()
+	}
+	return done()
+}
+
+// Queue is a bounded registered FIFO. Pushes made during a cycle are staged
+// and become poppable only after the kernel commits at the end of the
+// cycle. Capacity counts committed plus staged entries, so producers see
+// back-pressure immediately.
+type Queue[T any] struct {
+	name   string
+	cap    int
+	items  []T
+	staged []T
+
+	// Stats.
+	pushes uint64
+	pops   uint64
+	maxLen int
+}
+
+// NewQueue creates a queue with the given capacity, registered with the
+// kernel so its staged pushes commit each cycle. Capacity must be positive.
+func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: queue %q capacity must be positive, got %d", name, capacity))
+	}
+	q := &Queue[T]{name: name, cap: capacity}
+	k.queues = append(k.queues, q)
+	return q
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Len returns the number of committed (poppable) entries.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// CanPush reports whether a push this cycle would be accepted.
+func (q *Queue[T]) CanPush() bool { return len(q.items)+len(q.staged) < q.cap }
+
+// Free returns how many pushes would currently be accepted.
+func (q *Queue[T]) Free() int { return q.cap - len(q.items) - len(q.staged) }
+
+// Push stages v for commit at the end of the cycle. It reports false if
+// the queue is full (the caller must retry a later cycle).
+func (q *Queue[T]) Push(v T) bool {
+	if !q.CanPush() {
+		return false
+	}
+	q.staged = append(q.staged, v)
+	q.pushes++
+	return true
+}
+
+// MustPush panics if the queue is full. Use only where the design
+// guarantees space (e.g., a response queue sized to outstanding requests).
+func (q *Queue[T]) MustPush(v T) {
+	if !q.Push(v) {
+		panic("sim: MustPush on full queue " + q.name)
+	}
+}
+
+// Peek returns the head without consuming it. ok is false when empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}
+
+// Pop consumes and returns the head. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	// Shift rather than re-slice so the backing array does not grow
+	// without bound over long simulations.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	q.pops++
+	return v, true
+}
+
+// Pushes returns the lifetime number of accepted pushes.
+func (q *Queue[T]) Pushes() uint64 { return q.pushes }
+
+// Pops returns the lifetime number of pops.
+func (q *Queue[T]) Pops() uint64 { return q.pops }
+
+// MaxLen returns the high-water mark of committed occupancy.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+func (q *Queue[T]) commit() {
+	if len(q.staged) > 0 {
+		q.items = append(q.items, q.staged...)
+		q.staged = q.staged[:0]
+	}
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueRegisteredVisibility(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	if !q.Push(7) {
+		t.Fatal("push failed on empty queue")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop saw a value pushed this cycle; queue must be registered")
+	}
+	k.Step()
+	v, ok := q.Pop()
+	if !ok || v != 7 {
+		t.Fatalf("after commit: got (%d,%v), want (7,true)", v, ok)
+	}
+}
+
+func TestQueueBackpressureCountsStaged(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 2)
+	if !q.Push(1) || !q.Push(2) {
+		t.Fatal("pushes within capacity failed")
+	}
+	if q.Push(3) {
+		t.Fatal("push beyond capacity accepted (staged entries must count)")
+	}
+	k.Step()
+	if q.Push(3) {
+		t.Fatal("push accepted while committed entries fill capacity")
+	}
+	q.Pop()
+	if !q.Push(3) {
+		t.Fatal("push rejected after a pop freed space")
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 100)
+	for i := 0; i < 50; i++ {
+		q.MustPush(i)
+	}
+	k.Step()
+	for i := 0; i < 50; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestQueuePeekDoesNotConsume(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k, "q", 2)
+	q.MustPush("a")
+	k.Step()
+	if v, ok := q.Peek(); !ok || v != "a" {
+		t.Fatalf("peek: got (%q,%v)", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("peek consumed: len=%d", q.Len())
+	}
+}
+
+func TestKernelTickOrderAndCycle(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Add(ComponentFunc(func(c Cycle) { order = append(order, 1) }))
+	k.Add(ComponentFunc(func(c Cycle) { order = append(order, 2) }))
+	k.Run(2)
+	want := []int{1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("ticks: got %v want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order: got %v want %v", order, want)
+		}
+	}
+	if k.Cycle() != 2 {
+		t.Fatalf("cycle: got %d want 2", k.Cycle())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Add(ComponentFunc(func(c Cycle) { n++ }))
+	if !k.RunUntil(func() bool { return n >= 10 }, 100) {
+		t.Fatal("RunUntil did not report completion")
+	}
+	if n != 10 {
+		t.Fatalf("ran %d cycles, want 10", n)
+	}
+	if k.RunUntil(func() bool { return false }, 5) {
+		t.Fatal("RunUntil reported completion for impossible condition")
+	}
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewQueue[int](NewKernel(), "bad", 0)
+}
+
+func TestMustPushPanicsWhenFull(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 1)
+	q.MustPush(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.MustPush(2)
+}
+
+// Property: for any sequence of pushes, popping after commits returns the
+// same values in the same order, and occupancy never exceeds capacity.
+func TestQueuePreservesSequenceProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		k := NewKernel()
+		q := NewQueue[uint16](k, "q", len(vals)+1)
+		for _, v := range vals {
+			if !q.Push(v) {
+				return false
+			}
+		}
+		k.Step()
+		if q.Len() > q.Cap() {
+			return false
+		}
+		for _, want := range vals {
+			got, ok := q.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := q.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 8)
+	for i := 0; i < 5; i++ {
+		q.MustPush(i)
+	}
+	k.Step()
+	q.Pop()
+	q.Pop()
+	if q.Pushes() != 5 || q.Pops() != 2 || q.MaxLen() != 5 {
+		t.Fatalf("stats: pushes=%d pops=%d max=%d", q.Pushes(), q.Pops(), q.MaxLen())
+	}
+}

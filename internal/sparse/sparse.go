@@ -1,0 +1,287 @@
+// Package sparse provides the compressed sparse matrix substrate the
+// SpGEMM DSAs (SpArch, Gamma) operate on: CSR/CSC structures, synthetic
+// generators matched to the paper's inputs (p2p-Gnutella-like power-law
+// graphs via R-MAT), in-memory-image layout for the simulated DRAM, and
+// reference SpGEMM algorithms (inner product, outer product, Gustavson)
+// used to validate the DSA pipelines functionally.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"xcache/internal/mem"
+)
+
+// CSR is a compressed-sparse-row matrix. The same struct stores CSC
+// matrices (interpret Rows as columns); Transpose converts between them.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int64 // len Rows+1
+	Col        []int64 // len NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Col) }
+
+// RowNNZ returns the number of entries in row r.
+func (m *CSR) RowNNZ(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// Row returns the column indices and values of row r.
+func (m *CSR) Row(r int) ([]int64, []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.Col[lo:hi], m.Val[lo:hi]
+}
+
+// Coord is one COO entry.
+type Coord struct {
+	R, C int
+	V    float64
+}
+
+// FromCOO builds a CSR from coordinates, summing duplicates.
+func FromCOO(rows, cols int, coords []Coord) *CSR {
+	sort.Slice(coords, func(i, j int) bool {
+		if coords[i].R != coords[j].R {
+			return coords[i].R < coords[j].R
+		}
+		return coords[i].C < coords[j].C
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	for i := 0; i < len(coords); {
+		j := i
+		v := 0.0
+		for j < len(coords) && coords[j].R == coords[i].R && coords[j].C == coords[i].C {
+			v += coords[j].V
+			j++
+		}
+		m.Col = append(m.Col, int64(coords[i].C))
+		m.Val = append(m.Val, v)
+		m.RowPtr[coords[i].R+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// Transpose returns the transpose (CSR of Aᵀ, equivalently the CSC of A).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{Rows: m.Cols, Cols: m.Rows,
+		RowPtr: make([]int64, m.Cols+1),
+		Col:    make([]int64, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.Col {
+		t.RowPtr[c+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		t.RowPtr[c+1] += t.RowPtr[c]
+	}
+	cursor := make([]int64, m.Cols)
+	copy(cursor, t.RowPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := m.Col[i]
+			t.Col[cursor[c]] = int64(r)
+			t.Val[cursor[c]] = m.Val[i]
+			cursor[c]++
+		}
+	}
+	return t
+}
+
+// RMAT generates a power-law sparse matrix in the style of the SNAP
+// peer-to-peer graphs the paper evaluates (p2p-Gnutella08: 6.3K/21K,
+// p2p-Gnutella31: 67K/147K). n is rounded up to a power of two internally
+// but the returned matrix is n×n.
+func RMAT(n, nnz int, seed int64) *CSR {
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := rand.New(rand.NewSource(seed))
+	levels := 0
+	for 1<<levels < n {
+		levels++
+	}
+	seen := map[[2]int]bool{}
+	coords := make([]Coord, 0, nnz)
+	for len(coords) < nnz {
+		r, cc := 0, 0
+		for l := 0; l < levels; l++ {
+			p := rng.Float64()
+			switch {
+			case p < a:
+			case p < a+b:
+				cc |= 1 << l
+			case p < a+b+c:
+				r |= 1 << l
+			default:
+				r |= 1 << l
+				cc |= 1 << l
+			}
+		}
+		if r >= n || cc >= n || seen[[2]int{r, cc}] {
+			continue
+		}
+		seen[[2]int{r, cc}] = true
+		coords = append(coords, Coord{R: r, C: cc, V: float64(rng.Intn(9) + 1)})
+	}
+	return FromCOO(n, n, coords)
+}
+
+// Uniform generates an Erdős–Rényi-style matrix with nnz random entries.
+func Uniform(rows, cols, nnz int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]int]bool{}
+	coords := make([]Coord, 0, nnz)
+	for len(coords) < nnz {
+		r, c := rng.Intn(rows), rng.Intn(cols)
+		if seen[[2]int{r, c}] {
+			continue
+		}
+		seen[[2]int{r, c}] = true
+		coords = append(coords, Coord{R: r, C: c, V: float64(rng.Intn(9) + 1)})
+	}
+	return FromCOO(rows, cols, coords)
+}
+
+// Layout is a CSR laid out in the simulated memory image: row_ptr, column
+// index and value arrays, each 8 bytes per element (values as
+// math.Float64bits).
+type Layout struct {
+	RowPtr uint64 // (Rows+1) words
+	Col    uint64 // NNZ words
+	Val    uint64 // NNZ words
+	// CV is the interleaved (col, val) pair array the SpGEMM DSAs fetch
+	// rows from: row k occupies words [2·RowPtr[k], 2·RowPtr[k+1]), with
+	// 8 words of slack at the end so full-burst refills never fault.
+	CV uint64
+}
+
+// WriteTo lays the matrix out in the image and returns the base addresses.
+func (m *CSR) WriteTo(img *mem.Image) Layout {
+	l := Layout{
+		RowPtr: img.AllocWords(len(m.RowPtr)),
+		Col:    img.AllocWords(m.NNZ() + 1),
+		Val:    img.AllocWords(m.NNZ() + 1),
+		CV:     img.AllocWords(2*m.NNZ() + 8),
+	}
+	for i, p := range m.RowPtr {
+		img.W64(l.RowPtr+uint64(i)*8, uint64(p))
+	}
+	for i := range m.Col {
+		img.W64(l.Col+uint64(i)*8, uint64(m.Col[i]))
+		img.W64(l.Val+uint64(i)*8, math.Float64bits(m.Val[i]))
+		img.W64(l.CV+uint64(2*i)*8, uint64(m.Col[i]))
+		img.W64(l.CV+uint64(2*i+1)*8, math.Float64bits(m.Val[i]))
+	}
+	return l
+}
+
+// Dense expands the matrix for small-scale validation.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for r := range d {
+		d[r] = make([]float64, m.Cols)
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			d[r][m.Col[i]] = m.Val[i]
+		}
+	}
+	return d
+}
+
+// Equal reports whether two matrices match within eps.
+func Equal(a, b *CSR, eps float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	da, db := a.Dense(), b.Dense()
+	for r := range da {
+		for c := range da[r] {
+			if math.Abs(da[r][c]-db[r][c]) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MulGustavson computes A×B row-by-row (Gamma's algorithm): for each
+// nonzero A[i,k], accumulate A[i,k] · B[k,:] into row i.
+func MulGustavson(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var coords []Coord
+	acc := map[int64]float64{}
+	for i := 0; i < a.Rows; i++ {
+		for k := range acc {
+			delete(acc, k)
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			k, av := a.Col[p], a.Val[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				acc[b.Col[q]] += av * b.Val[q]
+			}
+		}
+		for c, v := range acc {
+			if v != 0 {
+				coords = append(coords, Coord{R: i, C: int(c), V: v})
+			}
+		}
+	}
+	return FromCOO(a.Rows, b.Cols, coords)
+}
+
+// MulOuter computes A×B by outer products (SpArch's algorithm): for each
+// column k of A (using Aᵀ) and row k of B, emit the cross product.
+func MulOuter(a, b *CSR) *CSR {
+	at := a.Transpose() // columns of A
+	var coords []Coord
+	for k := 0; k < a.Cols; k++ {
+		aCols, aVals := at.Row(k)
+		bCols, bVals := b.Row(k)
+		for i := range aCols {
+			for j := range bCols {
+				coords = append(coords, Coord{R: int(aCols[i]), C: int(bCols[j]), V: aVals[i] * bVals[j]})
+			}
+		}
+	}
+	return FromCOO(a.Rows, b.Cols, coords)
+}
+
+// MulInner computes A×B by inner products (the Fig 2 walker): C[i,j] =
+// ⟨row i of A, column j of B⟩, skipping empty intersections.
+func MulInner(a, b *CSR) *CSR {
+	bt := b.Transpose() // columns of B as rows
+	var coords []Coord
+	for i := 0; i < a.Rows; i++ {
+		aCols, aVals := a.Row(i)
+		if len(aCols) == 0 {
+			continue
+		}
+		for j := 0; j < b.Cols; j++ {
+			bCols, bVals := bt.Row(j)
+			sum, ai, bi := 0.0, 0, 0
+			for ai < len(aCols) && bi < len(bCols) {
+				switch {
+				case aCols[ai] == bCols[bi]:
+					sum += aVals[ai] * bVals[bi]
+					ai++
+					bi++
+				case aCols[ai] < bCols[bi]:
+					ai++
+				default:
+					bi++
+				}
+			}
+			if sum != 0 {
+				coords = append(coords, Coord{R: i, C: j, V: sum})
+			}
+		}
+	}
+	return FromCOO(a.Rows, b.Cols, coords)
+}

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xcache/internal/mem"
+)
+
+func small() (*CSR, *CSR) {
+	a := FromCOO(3, 3, []Coord{{0, 0, 2}, {0, 2, 1}, {1, 1, 3}, {2, 0, 4}})
+	b := FromCOO(3, 3, []Coord{{0, 1, 5}, {1, 1, 1}, {2, 0, 2}, {2, 2, 6}})
+	return a, b
+}
+
+func TestFromCOOAndDense(t *testing.T) {
+	a, _ := small()
+	d := a.Dense()
+	if d[0][0] != 2 || d[0][2] != 1 || d[1][1] != 3 || d[2][0] != 4 {
+		t.Fatalf("dense: %v", d)
+	}
+	if a.NNZ() != 4 || a.RowNNZ(0) != 2 {
+		t.Fatalf("nnz: %d rownnz0: %d", a.NNZ(), a.RowNNZ(0))
+	}
+}
+
+func TestFromCOOSumsDuplicates(t *testing.T) {
+	m := FromCOO(2, 2, []Coord{{0, 0, 1}, {0, 0, 2}, {1, 1, 5}})
+	if m.NNZ() != 2 || m.Dense()[0][0] != 3 {
+		t.Fatalf("dup handling: nnz=%d dense=%v", m.NNZ(), m.Dense())
+	}
+}
+
+func TestTransposeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := Uniform(8+rng.Intn(8), 8+rng.Intn(8), 30, seed)
+		return Equal(m, m.Transpose().Transpose(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesDense(t *testing.T) {
+	a, b := small()
+	want := [][]float64{{2*0 + 1*2, 2 * 5, 1 * 6}, {0, 3, 0}, {0, 4 * 5, 0}}
+	got := MulGustavson(a, b).Dense()
+	for r := range want {
+		for c := range want[r] {
+			if math.Abs(got[r][c]-want[r][c]) > 1e-12 {
+				t.Fatalf("C[%d][%d]=%v want %v", r, c, got[r][c], want[r][c])
+			}
+		}
+	}
+}
+
+// Property: the three SpGEMM algorithms (the three DSA dataflows) agree.
+func TestSpGEMMAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 6 + int(uint64(seed)%10)
+		a := Uniform(n, n, n*2, seed)
+		b := Uniform(n, n, n*2, seed+1)
+		g := MulGustavson(a, b)
+		return Equal(g, MulOuter(a, b), 1e-9) && Equal(g, MulInner(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	m := RMAT(1024, 4000, 1)
+	if m.Rows != 1024 || m.NNZ() != 4000 {
+		t.Fatalf("rows=%d nnz=%d", m.Rows, m.NNZ())
+	}
+	// Power-law: the top 10% of rows should hold well over 10% of entries.
+	counts := make([]int, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		counts[r] = m.RowNNZ(r)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10 {
+		t.Fatalf("R-MAT too uniform: max row nnz %d", max)
+	}
+}
+
+func TestWriteToImageRoundTrip(t *testing.T) {
+	a, _ := small()
+	img := mem.NewImage()
+	l := a.WriteTo(img)
+	for r := 0; r <= a.Rows; r++ {
+		if got := img.R64(l.RowPtr + uint64(r)*8); got != uint64(a.RowPtr[r]) {
+			t.Fatalf("rowptr[%d]=%d want %d", r, got, a.RowPtr[r])
+		}
+	}
+	for i := 0; i < a.NNZ(); i++ {
+		if got := img.R64(l.Col + uint64(i)*8); got != uint64(a.Col[i]) {
+			t.Fatalf("col[%d]=%d", i, got)
+		}
+		if got := math.Float64frombits(img.R64(l.Val + uint64(i)*8)); got != a.Val[i] {
+			t.Fatalf("val[%d]=%v", i, got)
+		}
+	}
+}
+
+func TestTransposeIsCSC(t *testing.T) {
+	a, _ := small()
+	at := a.Transpose()
+	// Column 0 of A has entries at rows 0 (val 2) and 2 (val 4).
+	cols, vals := at.Row(0)
+	if len(cols) != 2 || cols[0] != 0 || vals[0] != 2 || cols[1] != 2 || vals[1] != 4 {
+		t.Fatalf("CSC col 0: %v %v", cols, vals)
+	}
+}
