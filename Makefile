@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: verify vet race faultsmoke bench ci
+
+# Tier-1: the gate every change must pass (see ROADMAP.md).
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-2: static analysis + race detector over the full suite.
+race: vet
+	$(GO) test -race ./...
+
+# Fault-injection smoke: seeded dropped-fill run must recover, validate
+# against the golden model, and replay byte-for-byte from its seed.
+faultsmoke:
+	$(GO) test -run TestFaultSmoke ./internal/check
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+ci: verify race faultsmoke

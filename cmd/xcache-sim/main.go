@@ -7,6 +7,16 @@
 //	xcache-sim -dsa widx -kind xcache -query TPC-H-19 -scale 50
 //	xcache-sim -dsa gamma -kind addr -scale 30
 //	xcache-sim -dsa graphpulse -kind baseline -scale 10
+//
+// Hardening (X-Cache runs only):
+//
+//	xcache-sim -dsa widx -check                  # watchdog + invariant checkers
+//	xcache-sim -dsa widx -faults 1e-3 -seed 7    # drop 0.1% of DRAM fills, seeded
+//	xcache-sim -dsa widx -check -watchdog 20000  # custom stall window
+//
+// A fault run is exactly reproducible from its seed; on a wedge or
+// invariant violation the process exits with a stall report naming every
+// queue's occupancy and each component's in-flight state.
 package main
 
 import (
@@ -14,7 +24,9 @@ import (
 	"fmt"
 	"os"
 
+	"xcache/internal/check"
 	"xcache/internal/dsa"
+	"xcache/internal/dsa/btreeidx"
 	"xcache/internal/dsa/dasx"
 	"xcache/internal/dsa/graphpulse"
 	"xcache/internal/dsa/spgemm"
@@ -23,13 +35,33 @@ import (
 )
 
 func main() {
-	name := flag.String("dsa", "widx", "widx | dasx | sparch | gamma | graphpulse")
+	name := flag.String("dsa", "widx", "widx | dasx | sparch | gamma | graphpulse | btreeidx")
 	kind := flag.String("kind", "xcache", "xcache | addr | baseline")
 	query := flag.String("query", "TPC-H-19", "TPC-H query profile (widx/dasx)")
 	scale := flag.Int("scale", 25, "workload scale divisor (1 = paper scale)")
+	doCheck := flag.Bool("check", false, "enable the watchdog and invariant checkers (xcache runs)")
+	faults := flag.Float64("faults", 0, "DRAM read-response drop probability (enables fault injection + -check)")
+	seed := flag.Uint64("seed", 1, "fault-injection seed (same seed → identical run)")
+	watchdog := flag.Int("watchdog", 50_000, "cycles without forward progress before declaring a stall")
 	flag.Parse()
 
-	r, err := run(*name, *kind, *query, *scale)
+	if *faults < 0 || *faults > 1 {
+		fmt.Fprintln(os.Stderr, "xcache-sim: -faults must be a probability in [0, 1]")
+		os.Exit(1)
+	}
+	var cc *check.Config
+	if *doCheck || *faults > 0 {
+		cc = &check.Config{Watchdog: *watchdog, Invariants: true, Seed: *seed}
+		if *faults > 0 {
+			cc.Faults = check.FaultConfig{DropResp: *faults}
+		}
+	}
+	if cc != nil && *kind != "xcache" {
+		fmt.Fprintln(os.Stderr, "xcache-sim: -check/-faults apply to -kind xcache only")
+		os.Exit(1)
+	}
+
+	r, err := run(*name, *kind, *query, *scale, cc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xcache-sim:", err)
 		os.Exit(1)
@@ -42,9 +74,13 @@ func main() {
 	fmt.Printf("  on-chip energy   %.0f pJ (data %.0f, tag %.0f, rtn %.0f, ctrl %.0f)\n",
 		r.Energy.OnChip(), r.Energy.DataRAM, r.Energy.TagRAM, r.Energy.RoutineRAM, r.Energy.Controller())
 	fmt.Printf("  validated        %v\n", r.Checked)
+	if *faults > 0 {
+		fmt.Printf("  faults           %d fills dropped, %d retries, %d parity scrubs (seed %d)\n",
+			r.DroppedFills, r.FillRetries, r.ParityScrubs, *seed)
+	}
 }
 
-func run(name, kind, query string, scale int) (dsa.Result, error) {
+func run(name, kind, query string, scale int, cc *check.Config) (dsa.Result, error) {
 	var profile hashidx.Profile
 	found := false
 	for _, p := range hashidx.TPCH() {
@@ -61,7 +97,7 @@ func run(name, kind, query string, scale int) (dsa.Result, error) {
 	case "widx":
 		switch kind {
 		case "xcache":
-			return widx.RunXCache(hashWork, widx.Options{})
+			return widx.RunXCache(hashWork, widx.Options{Check: cc})
 		case "addr":
 			return widx.RunAddr(hashWork, widx.Options{})
 		case "baseline":
@@ -70,7 +106,7 @@ func run(name, kind, query string, scale int) (dsa.Result, error) {
 	case "dasx":
 		switch kind {
 		case "xcache":
-			return dasx.RunXCache(hashWork, dasx.Options{})
+			return dasx.RunXCache(hashWork, dasx.Options{Check: cc})
 		case "addr":
 			return dasx.RunAddr(hashWork, dasx.Options{})
 		case "baseline":
@@ -84,7 +120,7 @@ func run(name, kind, query string, scale int) (dsa.Result, error) {
 		w := spgemm.P2PGnutella31(scale)
 		switch kind {
 		case "xcache":
-			return spgemm.RunXCache(alg, w, spgemm.Options{})
+			return spgemm.RunXCache(alg, w, spgemm.Options{Check: cc})
 		case "addr":
 			return spgemm.RunAddr(alg, w, spgemm.Options{})
 		case "baseline":
@@ -94,11 +130,21 @@ func run(name, kind, query string, scale int) (dsa.Result, error) {
 		w := graphpulse.P2PGnutella08(scale)
 		switch kind {
 		case "xcache":
-			return graphpulse.RunXCache(w, graphpulse.Options{})
+			return graphpulse.RunXCache(w, graphpulse.Options{Check: cc})
 		case "addr":
 			return graphpulse.RunAddr(w, graphpulse.Options{})
 		case "baseline":
 			return graphpulse.RunBaseline(w, graphpulse.Options{})
+		}
+	case "btreeidx":
+		w := btreeidx.DefaultWork(scale)
+		switch kind {
+		case "xcache":
+			return btreeidx.RunXCache(w, btreeidx.Options{Check: cc})
+		case "addr", "baseline":
+			// The pure address-cache build is the baseline for B+-tree
+			// probing (the paper does not define a hardwired variant).
+			return btreeidx.RunAddr(w, btreeidx.Options{})
 		}
 	default:
 		return dsa.Result{}, fmt.Errorf("unknown DSA %q", name)

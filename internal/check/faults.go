@@ -1,0 +1,129 @@
+package check
+
+import (
+	"xcache/internal/dram"
+	"xcache/internal/metatag"
+	"xcache/internal/sim"
+)
+
+// PRNG stream selectors: every fault decision hashes (seed, stream,
+// cycle, salt) through an independent stream so enabling one fault class
+// never perturbs another class's decisions.
+const (
+	streamDrop = 1 + iota
+	streamDelay
+	streamDelayAmt
+	streamClog
+	streamFlipGate
+	streamFlipPick
+	streamFlipWord
+	streamFlipBit
+)
+
+// Injector makes every fault decision from a stateless hash of
+// (seed, stream, cycle, salt), so a run is exactly reproducible from its
+// seed: no hidden PRNG state, no dependence on call order, and queue-full
+// decisions are stable across repeated CanPush calls within a cycle.
+type Injector struct {
+	cfg  FaultConfig
+	seed uint64
+	k    *sim.Kernel
+	tags []*metatag.Array
+
+	// Counters of injected faults (for logs and smoke tests).
+	Drops  uint64
+	Delays uint64
+	Clogs  uint64
+	Flips  uint64
+}
+
+func newInjector(seed uint64, cfg FaultConfig, k *sim.Kernel) *Injector {
+	if cfg.DelayMax <= 0 {
+		cfg.DelayMax = 256
+	}
+	return &Injector{cfg: cfg, seed: seed, k: k}
+}
+
+// roll returns a uniform value in [0,1) determined entirely by the seed,
+// the stream, and the two salts.
+func (in *Injector) roll(stream, a, b uint64) float64 {
+	z := in.seed ^ stream*0x9e3779b97f4a7c15 ^ a*0xff51afd7ed558ccd ^ b*0xc4ceb9fe1a85ec53
+	return float64(mix64(z)>>11) / (1 << 53)
+}
+
+// ReadResponse implements dram.FaultInjector: called once per read
+// response at completion time. Retries of a dropped fill arrive at later
+// cycles and therefore roll independently, so a bounded retry budget
+// converges even at high drop rates.
+func (in *Injector) ReadResponse(r dram.Response, c sim.Cycle) (drop bool, delay int) {
+	salt := r.Addr ^ r.ID<<1
+	if in.cfg.DropResp > 0 && in.roll(streamDrop, uint64(c), salt) < in.cfg.DropResp {
+		in.Drops++
+		return true, 0
+	}
+	if in.cfg.DelayResp > 0 && in.roll(streamDelay, uint64(c), salt) < in.cfg.DelayResp {
+		in.Delays++
+		d := 1 + int(in.roll(streamDelayAmt, uint64(c), salt)*float64(in.cfg.DelayMax))
+		return false, d
+	}
+	return false, 0
+}
+
+// clog installs a transient-fullness hook on a queue: some cycles the
+// queue reports full to producers even though slots are free, forcing
+// their back-pressure paths. The decision depends only on (seed, queue
+// name, cycle) so it is identical on every CanPush call within a cycle.
+func (in *Injector) clog(q sim.Clogger) {
+	name := hashString(q.Name())
+	q.SetClog(func() bool {
+		if in.roll(streamClog, uint64(in.k.Cycle()), name) < in.cfg.ClogQueue {
+			in.Clogs++
+			return true
+		}
+		return false
+	})
+}
+
+// AfterStep implements sim.Observer; it fires the per-cycle bit-flip
+// gate and corrupts one stored meta-tag key bit in a randomly chosen
+// clean stable entry. Only parity-intact entries are eligible: a second
+// flip in the same word pair would restore even parity and make the
+// corruption undetectable, which models a double-bit error the paper's
+// single-parity tag RAM cannot catch either.
+func (in *Injector) AfterStep(c sim.Cycle) {
+	if in.cfg.FlipBit <= 0 || in.roll(streamFlipGate, uint64(c), 0) >= in.cfg.FlipBit {
+		return
+	}
+	for ti, a := range in.tags {
+		eligible := func(e *metatag.Entry) bool {
+			return e.Walker == metatag.NoWalker && !e.Dirty && e.ParityOK()
+		}
+		n := 0
+		a.ForEach(func(e *metatag.Entry) {
+			if eligible(e) {
+				n++
+			}
+		})
+		if n == 0 {
+			continue
+		}
+		pick := min(int(in.roll(streamFlipPick, uint64(c), uint64(ti))*float64(n)), n-1)
+		word := 0
+		if a.Cfg.KeyWords > 1 {
+			word = min(int(in.roll(streamFlipWord, uint64(c), uint64(ti))*float64(a.Cfg.KeyWords)), a.Cfg.KeyWords-1)
+		}
+		bit := min(int(in.roll(streamFlipBit, uint64(c), uint64(ti))*64), 63)
+		i := 0
+		a.ForEach(func(e *metatag.Entry) {
+			if !eligible(e) {
+				return
+			}
+			if i == pick {
+				a.CorruptKeyBit(e, word, bit)
+				in.Flips++
+			}
+			i++
+		})
+		return
+	}
+}

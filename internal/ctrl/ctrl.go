@@ -93,6 +93,12 @@ type Config struct {
 	MaxRoutineSteps int // runaway-microcode guard (default 4096)
 	RespDataWords   int // cap on words copied into MetaResp.Data
 	MaxWaiters      int // merged requests per walker before backpressure
+
+	// Hardening knobs (internal/check wires these; both default off so
+	// benchmarks pay nothing).
+	FillTimeout    int  // cycles before an unanswered DRAM fill is reissued (0 = off)
+	MaxFillRetries int  // reissues before the fill is declared failed (default 8)
+	ParityCheck    bool // scrub probed sets for parity-corrupted meta-tags
 }
 
 func (c *Config) defaults() {
@@ -129,6 +135,9 @@ func (c *Config) defaults() {
 	if c.MaxWaiters == 0 {
 		c.MaxWaiters = 8
 	}
+	if c.MaxFillRetries == 0 {
+		c.MaxFillRetries = 8
+	}
 }
 
 // Stats aggregates controller activity.
@@ -146,6 +155,11 @@ type Stats struct {
 	AllocRetries     uint64 // allocM conflicts pushed back to replay
 	MaxFillsInFlight int    // high-water mark of outstanding DRAM fills
 	StallCycles      uint64 // backend cycles lost to full queues
+
+	// Fault-recovery accounting (zero unless hardening is enabled).
+	FillRetries   uint64 // timed-out DRAM fills reissued
+	SpuriousFills uint64 // duplicate/late responses discarded after a retry
+	ParityScrubs  uint64 // parity-corrupted meta-tags invalidated for refetch
 
 	// Load-to-use accounting (request issue → response push).
 	L2USum, L2UCount, L2UMax uint64
@@ -254,6 +268,21 @@ type Controller struct {
 	stats Stats
 
 	outstandingFills int
+
+	// Hardening state.
+	fillTable   []fillRec // outstanding fills, tracked when FillTimeout > 0
+	fillFailure error     // a fill exhausted MaxFillRetries
+	cycWakes    int       // walker wake-ups this cycle (invariant: ≤ #Exe)
+	cycActions  int       // actions executed this cycle (invariant: ≤ #Exe)
+}
+
+// fillRec tracks one outstanding DRAM fill for the timeout/retry path.
+type fillRec struct {
+	walker  int32
+	addr    uint64
+	words   int
+	issued  sim.Cycle
+	retries int
 }
 
 // New wires a controller. memReq/memResp connect it to DRAM (or a lower
@@ -304,11 +333,57 @@ func (c *Controller) Idle() bool {
 
 // Tick implements sim.Component.
 func (c *Controller) Tick(cy sim.Cycle) {
+	c.cycWakes, c.cycActions = 0, 0
 	c.drainHitPipe(cy)
 	c.acceptFills(cy)
+	if c.Cfg.FillTimeout > 0 {
+		c.retryFills(cy)
+	}
 	c.frontend(cy)
 	c.backend(cy)
 	c.accumulateOccupancy()
+}
+
+// retryFills reissues DRAM fills that have gone unanswered for longer
+// than FillTimeout cycles (dropped responses under fault injection). The
+// logical fill stays the same — outstanding counts are not re-incremented
+// — so a late original and the retry's response cannot both wake the
+// walker; the second is discarded as spurious in acceptFills.
+func (c *Controller) retryFills(cy sim.Cycle) {
+	for i := range c.fillTable {
+		r := &c.fillTable[i]
+		if cy < r.issued+sim.Cycle(c.Cfg.FillTimeout) {
+			continue
+		}
+		if r.retries >= c.Cfg.MaxFillRetries {
+			if c.fillFailure == nil {
+				c.fillFailure = fmt.Errorf("ctrl: fill %#x (%d words) for walker %d failed after %d retries",
+					r.addr, r.words, r.walker, r.retries)
+			}
+			continue
+		}
+		if !c.MemReq.CanPush() {
+			return // full memory queue: retry next cycle
+		}
+		c.MemReq.MustPush(dram.Request{ID: uint64(r.walker), Addr: r.addr, Words: r.words})
+		r.issued = cy
+		r.retries++
+		c.stats.FillRetries++
+	}
+}
+
+// matchFill consumes the fill record for (walker, addr); ok is false when
+// no record exists (a duplicate response after a retry already landed).
+func (c *Controller) matchFill(wid int32, addr uint64) bool {
+	for i := range c.fillTable {
+		r := &c.fillTable[i]
+		if r.walker == wid && r.addr == addr {
+			c.fillTable[i] = c.fillTable[len(c.fillTable)-1]
+			c.fillTable = c.fillTable[:len(c.fillTable)-1]
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Controller) drainHitPipe(cy sim.Cycle) {
@@ -337,6 +412,13 @@ func (c *Controller) acceptFills(cy sim.Cycle) {
 			continue
 		}
 		wid := int32(resp.ID & 0xffffffff)
+		if c.Cfg.FillTimeout > 0 && !c.matchFill(wid, resp.Addr) {
+			// A retry's response already woke the walker; this is the late
+			// original (or vice versa). Discard it.
+			c.MemResp.Pop()
+			c.stats.SpuriousFills++
+			continue
+		}
 		w := &c.walkers[wid]
 		if !w.active {
 			panic(fmt.Sprintf("ctrl: fill for inactive walker %d", wid))
@@ -415,6 +497,9 @@ func (c *Controller) frontend(cy sim.Cycle) {
 			return
 		}
 
+		if c.Cfg.ParityCheck {
+			c.Tags.ScrubSet(req.Key, c.scrubEntry)
+		}
 		entry := c.Tags.Probe(req.Key)
 		if entry != nil && entry.State == program.StateValid {
 			if !c.serveHit(cy, req, entry) {
@@ -632,6 +717,16 @@ func (c *Controller) spawn(cy sim.Cycle, req MetaReq) {
 	c.fire(w, ev)
 }
 
+// scrubEntry releases the data sectors of a parity-corrupted meta-tag
+// before the array invalidates it; the next probe of its key misses and
+// the walker refetches clean data from DRAM.
+func (c *Controller) scrubEntry(e *metatag.Entry) {
+	if e.SectorCount > 0 {
+		c.Data.Free(e.SectorBase, e.SectorCount)
+	}
+	c.stats.ParityScrubs++
+}
+
 // fire starts the routine for (walker.state, event).
 func (c *Controller) fire(w *walker, event int) {
 	pc, ok := c.Prog.Lookup(w.state, event)
@@ -640,6 +735,7 @@ func (c *Controller) fire(w *walker, event int) {
 			c.Prog.Name, c.Prog.StateNames[w.state], c.Prog.EventNames[event]))
 	}
 	w.running = true
+	c.cycWakes++
 	c.stats.RoutineRuns++
 	c.inflight = append(c.inflight, run{walker: w.id, start: pc, pc: pc})
 }
@@ -757,6 +853,13 @@ func (c *Controller) DrainStable(fn func(Drained)) int {
 		if e.Walker != metatag.NoWalker || e.State != program.StateValid {
 			return
 		}
+		if c.Cfg.ParityCheck && !e.ParityOK() {
+			// A corrupted key would drain under the wrong identity; drop
+			// the entry instead (graceful degradation, counted).
+			c.scrubEntry(e)
+			c.Tags.Dealloc(e)
+			return
+		}
 		var v uint64
 		if e.SectorCount > 0 {
 			v = c.Data.Read(c.Data.SectorWordBase(e.SectorBase))
@@ -787,4 +890,89 @@ func (c *Controller) FlushStable() int {
 		n++
 	})
 	return n
+}
+
+// --- Hardening hooks (internal/check) ---
+
+// ActivityCount returns a monotonic progress counter the deadlock
+// watchdog folds into its forward-progress signature.
+func (c *Controller) ActivityCount() uint64 {
+	return c.stats.Actions + c.stats.Responses + c.stats.Hits + c.stats.RoutineRuns
+}
+
+// CheckInvariants verifies the controller's per-cycle microarchitectural
+// bounds after a kernel step: the front-end woke at most #Exe walkers,
+// the back-end retired at most #Exe actions (unless hardwired), the
+// outstanding-fill count matches the per-walker ledgers, and the walker
+// free list is conserved. It also surfaces a fill that exhausted its
+// retries.
+func (c *Controller) CheckInvariants(cy sim.Cycle) error {
+	if c.fillFailure != nil {
+		return c.fillFailure
+	}
+	if c.cycWakes > c.Cfg.NumExe {
+		return fmt.Errorf("ctrl: %d walker wakes in cycle %d exceeds #Exe=%d", c.cycWakes, cy, c.Cfg.NumExe)
+	}
+	if !c.Cfg.Hardwired && c.cycActions > c.Cfg.NumExe {
+		return fmt.Errorf("ctrl: %d actions in cycle %d exceeds #Exe=%d", c.cycActions, cy, c.Cfg.NumExe)
+	}
+	sum, active := 0, 0
+	for i := range c.walkers {
+		w := &c.walkers[i]
+		if w.fills < 0 {
+			return fmt.Errorf("ctrl: walker %d has negative fill count %d", w.id, w.fills)
+		}
+		sum += w.fills
+		if w.active {
+			active++
+		}
+	}
+	if sum != c.outstandingFills {
+		return fmt.Errorf("ctrl: outstanding fills %d != per-walker sum %d (MSHR ledger skew)",
+			c.outstandingFills, sum)
+	}
+	if active+len(c.freeW) != len(c.walkers) {
+		return fmt.Errorf("ctrl: %d active + %d free walkers != %d contexts", active, len(c.freeW), len(c.walkers))
+	}
+	if c.Cfg.FillTimeout > 0 && len(c.fillTable) != c.outstandingFills {
+		return fmt.Errorf("ctrl: fill table holds %d records for %d outstanding fills", len(c.fillTable), c.outstandingFills)
+	}
+	return nil
+}
+
+// DiagnoseName labels this component in stall reports.
+func (c *Controller) DiagnoseName() string { return "ctrl" }
+
+// Diagnose describes every in-flight walker routine and the controller's
+// queue-side state for stall reports.
+func (c *Controller) Diagnose() []string {
+	out := []string{fmt.Sprintf("%d/%d walkers active, %d routines in flight, %d replaying, %d fills outstanding, hit pipe %d",
+		len(c.walkers)-len(c.freeW), len(c.walkers), len(c.inflight), len(c.replay), c.outstandingFills, len(c.hitPipe))}
+	for i := range c.walkers {
+		w := &c.walkers[i]
+		if !w.active {
+			continue
+		}
+		state := "?"
+		if w.state >= 0 && w.state < len(c.Prog.StateNames) {
+			state = c.Prog.StateNames[w.state]
+		}
+		run := "sleeping"
+		if w.running {
+			run = "running"
+		}
+		out = append(out, fmt.Sprintf("walker %d: key=%#x state=%s %s, %d fills outstanding, %d waiters, %d pending msgs, spawned @%d",
+			w.id, w.key[0], state, run, w.fills, len(w.waiters), len(w.pending), w.spawned))
+	}
+	for _, r := range c.fillTable {
+		out = append(out, fmt.Sprintf("fill: walker %d addr=%#x words=%d issued @%d retries=%d",
+			r.walker, r.addr, r.words, r.issued, r.retries))
+	}
+	return out
+}
+
+// FaultQueues lists the queues whose producers all tolerate transient
+// fullness, i.e. the safe targets for clog fault injection.
+func (c *Controller) FaultQueues() []sim.Clogger {
+	return []sim.Clogger{c.ReqQ, c.RespQ, c.evq, c.MemReq}
 }

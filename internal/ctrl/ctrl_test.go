@@ -1,6 +1,7 @@
 package ctrl
 
 import (
+	"strings"
 	"testing"
 
 	"xcache/internal/dataram"
@@ -457,5 +458,140 @@ func TestEnergyCountersPopulated(t *testing.T) {
 	b := m.Energy(energy.DefaultParams())
 	if b.OnChip() <= 0 {
 		t.Fatal("no on-chip energy accumulated")
+	}
+}
+
+// dropOnce drops the first read response for each listed address.
+type dropOnce struct{ addrs map[uint64]bool }
+
+func (f *dropOnce) ReadResponse(r dram.Response, c sim.Cycle) (bool, int) {
+	if f.addrs[r.Addr] {
+		delete(f.addrs, r.Addr)
+		return true, 0
+	}
+	return false, 0
+}
+
+func TestFillTimeoutRetriesDroppedFill(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1, FillTimeout: 200}
+	r := newRig(t, cfg, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	base := r.fillArray(8)
+	r.d.Faults = &dropOnce{addrs: map[uint64]bool{base + 3*8: true}}
+	id := r.issue(MetaLoad, 3, 0)
+	got := r.await(1)
+	if got[id].Status != program.StatusOK || got[id].Value != 37 {
+		t.Fatalf("resp after retry: %+v", got[id])
+	}
+	st := r.c.Stats()
+	if st.FillRetries == 0 {
+		t.Fatal("dropped fill recovered without a recorded retry")
+	}
+	if err := r.c.CheckInvariants(r.k.Cycle()); err != nil {
+		t.Fatalf("invariants after retry: %v", err)
+	}
+}
+
+// A delayed original plus a reissued retry produce a duplicate response;
+// the second arrival must be discarded as spurious, not crash the walker.
+func TestDuplicateFillDiscardedAsSpurious(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1, FillTimeout: 60}
+	r := newRig(t, cfg, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	base := r.fillArray(8)
+	// Delay the first response past the (short) timeout so the retry is
+	// in flight when the original finally lands.
+	delayed := false
+	r.d.Faults = faultFunc(func(resp dram.Response, c sim.Cycle) (bool, int) {
+		if resp.Addr == base+2*8 && !delayed {
+			delayed = true
+			return false, 300
+		}
+		return false, 0
+	})
+	id := r.issue(MetaLoad, 2, 0)
+	got := r.await(1)
+	if got[id].Status != program.StatusOK || got[id].Value != 27 {
+		t.Fatalf("resp: %+v", got[id])
+	}
+	// Let the delayed duplicate arrive and be discarded.
+	r.k.RunUntil(func() bool { return r.d.Idle() }, 10000)
+	r.k.Run(5)
+	st := r.c.Stats()
+	if st.SpuriousFills == 0 {
+		t.Fatal("duplicate response was not discarded as spurious")
+	}
+	if err := r.c.CheckInvariants(r.k.Cycle()); err != nil {
+		t.Fatalf("invariants after duplicate: %v", err)
+	}
+}
+
+type faultFunc func(r dram.Response, c sim.Cycle) (bool, int)
+
+func (f faultFunc) ReadResponse(r dram.Response, c sim.Cycle) (bool, int) { return f(r, c) }
+
+func TestParityScrubRefetchesCorruptedEntry(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1, ParityCheck: true}
+	r := newRig(t, cfg, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	r.fillArray(8)
+	id := r.issue(MetaLoad, 5, 0)
+	if got := r.await(1); got[id].Value != 57 {
+		t.Fatalf("first walk: %+v", got[id])
+	}
+	// Corrupt the settled entry's stored key, then probe the same key:
+	// the frontend must scrub the bad entry and re-walk from DRAM.
+	e := r.c.Tags.Probe(metatag.Key{5, 0})
+	if e == nil {
+		t.Fatal("entry not cached after walk")
+	}
+	r.c.Tags.CorruptKeyBit(e, 0, 1)
+	id2 := r.issue(MetaLoad, 5, 0)
+	got := r.await(1)
+	if got[id2].Status != program.StatusOK || got[id2].Value != 57 {
+		t.Fatalf("post-corruption walk: %+v", got[id2])
+	}
+	st := r.c.Stats()
+	if st.ParityScrubs != 1 {
+		t.Fatalf("ParityScrubs=%d, want 1", st.ParityScrubs)
+	}
+	if st.Hits != 0 {
+		t.Fatalf("corrupted entry served %d hits", st.Hits)
+	}
+	if err := r.c.CheckInvariants(r.k.Cycle()); err != nil {
+		t.Fatalf("invariants after scrub: %v", err)
+	}
+}
+
+func TestControllerDiagnoseListsActiveWalkers(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1}
+	r := newRig(t, cfg, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	r.fillArray(8)
+	r.issue(MetaLoad, 1, 0)
+	r.k.Run(3) // mid-walk
+	if r.c.DiagnoseName() != "ctrl" {
+		t.Fatalf("DiagnoseName=%q", r.c.DiagnoseName())
+	}
+	lines := r.c.Diagnose()
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "walker") && strings.Contains(l, "key=0x1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnose lacks the in-flight walker: %v", lines)
+	}
+	r.await(1)
+}
+
+func TestFaultQueuesCoverControllerBoundaries(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1}
+	r := newRig(t, cfg, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	names := map[string]bool{}
+	for _, q := range r.c.FaultQueues() {
+		names[q.Name()] = true
+	}
+	for _, want := range []string{"xc.req", "xc.resp", "xc.evq"} {
+		if !names[want] {
+			t.Fatalf("FaultQueues misses %s: %v", want, names)
+		}
 	}
 }

@@ -35,6 +35,7 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 		c.Meter.RtnBytes += isa.WordBytes
 	}
 	c.stats.Actions++
+	c.cycActions++
 
 	reg := func(i uint8) uint64 {
 		if int(i) >= len(w.regs) {
@@ -132,6 +133,9 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 		c.outstandingFills++
 		w.fills++
 		c.stats.FillsIssued++
+		if c.Cfg.FillTimeout > 0 {
+			c.fillTable = append(c.fillTable, fillRec{walker: w.id, addr: reg(in.Dst), words: words, issued: cy})
+		}
 		if c.outstandingFills > c.stats.MaxFillsInFlight {
 			c.stats.MaxFillsInFlight = c.outstandingFills
 		}
@@ -392,10 +396,15 @@ func (c *Controller) reclaim(ev *metatag.Evicted) {
 }
 
 // makeRoom evicts stable entries until n contiguous sectors could
-// plausibly be freed. It returns false when nothing is evictable.
+// plausibly be freed. It returns false when nothing is evictable. Each
+// eviction may need a writeback slot, so the memory queue is re-checked
+// per victim — the caller only guaranteed space for the first.
 func (c *Controller) makeRoom(n int) bool {
 	evicted := false
 	for i := 0; i < 4; i++ {
+		if !c.MemReq.CanPush() {
+			return evicted
+		}
 		ev, ok := c.Tags.EvictLRUStable()
 		if !ok {
 			return evicted

@@ -70,6 +70,10 @@ type Stats struct {
 	WordsWritten uint64
 	BusBusy      uint64 // cycles the data bus transferred
 	TotalLatency uint64 // sum of (complete - enqueue) over all requests
+
+	// Fault-injection accounting (zero unless a FaultInjector is set).
+	DroppedResps uint64 // read responses suppressed by the injector
+	DelayedResps uint64 // read responses held back by the injector
 }
 
 // Accesses returns total read+write requests served.
@@ -87,6 +91,9 @@ func (s Stats) AvgLatency() float64 {
 type bank struct {
 	openRow   int64 // -1 when closed
 	busyUntil sim.Cycle
+	lastPre   sim.Cycle // scheduled precharge start of the last conflict
+	lastAct   sim.Cycle // scheduled activate of the last row open
+	preValid  bool      // lastPre holds a real precharge (not cold-start zero)
 }
 
 type pending struct {
@@ -96,6 +103,20 @@ type pending struct {
 	complete sim.Cycle
 }
 
+// FaultInjector decides per-response faults. Implementations must be
+// deterministic functions of (request, cycle) so runs replay from a seed.
+type FaultInjector interface {
+	// ReadResponse is consulted once per completed read. drop suppresses
+	// the response entirely (the requester's timeout/retry path must
+	// recover); delay holds it back the given number of cycles.
+	ReadResponse(r Response, c sim.Cycle) (drop bool, delay int)
+}
+
+type delayedResp struct {
+	readyAt sim.Cycle
+	resp    Response
+}
+
 // DRAM is the channel component. Push requests to Req; pop completions
 // from Resp.
 type DRAM struct {
@@ -103,12 +124,18 @@ type DRAM struct {
 	Req  *sim.Queue[Request]
 	Resp *sim.Queue[Response]
 
+	// Faults, when non-nil, injects dropped/delayed read responses.
+	Faults FaultInjector
+
 	img      *mem.Image
 	banks    []bank
 	window   []*pending
 	busFree  sim.Cycle
 	stats    Stats
-	respHold []Response // completed but response queue was full
+	respHold []Response    // completed but response queue was full
+	delayed  []delayedResp // fault-injected response delays
+	strict   bool          // timing-protocol assertions enabled
+	protoErr error         // first protocol violation observed
 }
 
 // New creates a DRAM channel over the given memory image and registers it
@@ -135,11 +162,68 @@ func New(k *sim.Kernel, cfg Config, img *mem.Image) *DRAM {
 func (d *DRAM) Stats() Stats { return d.stats }
 
 // Pending reports the number of requests admitted but not yet completed.
-func (d *DRAM) Pending() int { return len(d.window) + len(d.respHold) }
+func (d *DRAM) Pending() int { return len(d.window) + len(d.respHold) + len(d.delayed) }
 
 // Idle reports whether the channel has no queued or in-flight work.
 func (d *DRAM) Idle() bool {
-	return d.Req.Len() == 0 && len(d.window) == 0 && len(d.respHold) == 0
+	return d.Req.Len() == 0 && len(d.window) == 0 && len(d.respHold) == 0 && len(d.delayed) == 0
+}
+
+// EnableProtocolCheck turns on the DDR timing-protocol assertions: every
+// issued access must schedule its column command at least tRCD after the
+// activate, its activate at least tRP after the precharge it follows, and
+// must not start while the bank is busy. Violations are reported through
+// CheckInvariants rather than panicking mid-tick.
+func (d *DRAM) EnableProtocolCheck() { d.strict = true }
+
+// CheckInvariants reports the first timing-protocol violation and any
+// structural inconsistency in the scheduler state.
+func (d *DRAM) CheckInvariants(c sim.Cycle) error {
+	if d.protoErr != nil {
+		return d.protoErr
+	}
+	if len(d.window) > d.Cfg.WindowDepth {
+		return fmt.Errorf("dram: scheduler window %d exceeds depth %d", len(d.window), d.Cfg.WindowDepth)
+	}
+	for _, p := range d.window {
+		if p.started && p.complete > d.busFree {
+			return fmt.Errorf("dram: request %#x completes at %d after bus frees at %d", p.req.Addr, p.complete, d.busFree)
+		}
+	}
+	return nil
+}
+
+// ActivityCount returns a monotonic progress counter the deadlock
+// watchdog folds into its forward-progress signature.
+func (d *DRAM) ActivityCount() uint64 {
+	return d.stats.Reads + d.stats.Writes + d.stats.RowHits + d.stats.RowMisses
+}
+
+// DiagnoseName labels this component in stall reports.
+func (d *DRAM) DiagnoseName() string { return "dram" }
+
+// Diagnose describes per-bank and scheduler state for stall reports.
+func (d *DRAM) Diagnose() []string {
+	var out []string
+	out = append(out, fmt.Sprintf("window %d/%d, respHold %d, delayed %d, busFree @%d",
+		len(d.window), d.Cfg.WindowDepth, len(d.respHold), len(d.delayed), d.busFree))
+	for i := range d.banks {
+		b := &d.banks[i]
+		state := "closed"
+		if b.openRow >= 0 {
+			state = fmt.Sprintf("row %d open", b.openRow)
+		}
+		out = append(out, fmt.Sprintf("bank %d: %s, busy until %d", i, state, b.busyUntil))
+	}
+	for _, p := range d.window {
+		tag := "queued"
+		if p.started {
+			tag = fmt.Sprintf("completes @%d", p.complete)
+		}
+		out = append(out, fmt.Sprintf("req id=%d addr=%#x words=%d arrived @%d (%s)",
+			p.req.ID, p.req.Addr, p.req.Words, p.arrived, tag))
+	}
+	return out
 }
 
 func (d *DRAM) mapAddr(addr uint64) (bankIdx int, row int64) {
@@ -149,6 +233,19 @@ func (d *DRAM) mapAddr(addr uint64) (bankIdx int, row int64) {
 
 // Tick implements sim.Component.
 func (d *DRAM) Tick(c sim.Cycle) {
+	// Release fault-delayed responses whose hold expired.
+	if len(d.delayed) > 0 {
+		keep := d.delayed[:0]
+		for _, dr := range d.delayed {
+			if dr.readyAt <= c {
+				d.deliver(dr.resp)
+				continue
+			}
+			keep = append(keep, dr)
+		}
+		d.delayed = keep
+	}
+
 	// Retry responses that were blocked on a full response queue.
 	for len(d.respHold) > 0 {
 		if !d.Resp.Push(d.respHold[0]) {
@@ -196,15 +293,33 @@ func (d *DRAM) Tick(c sim.Cycle) {
 		}
 		_, row := d.mapAddr(pick.req.Addr)
 		lat := d.Cfg.ChannelFixed + d.Cfg.TCAS
+		issue := c + sim.Cycle(d.Cfg.ChannelFixed)
 		switch {
 		case b.openRow == row:
 			d.stats.RowHits++
+			if d.strict && b.openRow >= 0 && issue < b.lastAct+sim.Cycle(d.Cfg.TRCD) {
+				d.violate("CAS to bank %d at %d before tRCD elapses (ACT at %d, tRCD %d)",
+					bi, issue, b.lastAct, d.Cfg.TRCD)
+			}
 		case b.openRow == -1:
 			d.stats.RowMisses++
 			lat += d.Cfg.TRCD
+			// A never-precharged bank (cold start) has no tRP window.
+			if d.strict && b.preValid && issue < b.lastPre+sim.Cycle(d.Cfg.TRP) {
+				d.violate("ACT to bank %d at %d before tRP elapses (PRE at %d, tRP %d)",
+					bi, issue, b.lastPre, d.Cfg.TRP)
+			}
+			b.lastAct = issue
 		default:
+			// Row conflict: precharge at issue, activate tRP later.
 			d.stats.RowMisses++
 			lat += d.Cfg.TRP + d.Cfg.TRCD
+			b.lastPre = issue
+			b.preValid = true
+			b.lastAct = issue + sim.Cycle(d.Cfg.TRP)
+		}
+		if d.strict && b.busyUntil > c {
+			d.violate("issue to busy bank %d at cycle %d (busy until %d)", bi, c, b.busyUntil)
 		}
 		b.openRow = row
 		burst := pick.req.Words * d.Cfg.TBusPerWord
@@ -235,6 +350,13 @@ func (d *DRAM) Tick(c sim.Cycle) {
 	d.window = remaining
 }
 
+// violate records the first timing-protocol violation.
+func (d *DRAM) violate(format string, args ...any) {
+	if d.protoErr == nil {
+		d.protoErr = fmt.Errorf("dram: "+format, args...)
+	}
+}
+
 func (d *DRAM) finish(p *pending, c sim.Cycle) {
 	d.stats.TotalLatency += uint64(c - p.arrived)
 	resp := Response{ID: p.req.ID, Addr: p.req.Addr}
@@ -249,7 +371,24 @@ func (d *DRAM) finish(p *pending, c sim.Cycle) {
 		d.stats.Reads++
 		d.stats.WordsRead += uint64(p.req.Words)
 		resp.Data = d.img.ReadWords(p.req.Addr, p.req.Words)
+		if d.Faults != nil {
+			drop, delay := d.Faults.ReadResponse(resp, c)
+			if drop {
+				d.stats.DroppedResps++
+				return
+			}
+			if delay > 0 {
+				d.stats.DelayedResps++
+				d.delayed = append(d.delayed, delayedResp{readyAt: c + sim.Cycle(delay), resp: resp})
+				return
+			}
+		}
 	}
+	d.deliver(resp)
+}
+
+// deliver pushes a response, spilling to respHold when the queue is full.
+func (d *DRAM) deliver(resp Response) {
 	if !d.Resp.Push(resp) {
 		d.respHold = append(d.respHold, resp)
 	}

@@ -204,3 +204,146 @@ func TestResponseBackpressureDoesNotDrop(t *testing.T) {
 		t.Fatalf("lost responses under backpressure: saw %d/8", seen)
 	}
 }
+
+// scriptedFaults drops or delays specific response IDs.
+type scriptedFaults struct {
+	drop  map[uint64]bool
+	delay map[uint64]int
+}
+
+func (f *scriptedFaults) ReadResponse(r Response, c sim.Cycle) (bool, int) {
+	if f.drop[r.ID] {
+		delete(f.drop, r.ID) // drop only the first attempt
+		return true, 0
+	}
+	return false, f.delay[r.ID]
+}
+
+func TestFaultInjectorDropsResponse(t *testing.T) {
+	k, img, d := setup(DefaultConfig())
+	base := img.AllocWords(2)
+	img.WriteWords(base, []uint64{1, 2})
+	d.Faults = &scriptedFaults{drop: map[uint64]bool{1: true}}
+	d.Req.MustPush(Request{ID: 1, Addr: base, Words: 1})
+	d.Req.MustPush(Request{ID: 2, Addr: base + 8, Words: 1})
+	rs := drain(t, k, d, 1)
+	if rs[0].ID != 2 {
+		t.Fatalf("got response %d, want only the undropped id 2", rs[0].ID)
+	}
+	k.Run(1000)
+	if _, ok := d.Resp.Pop(); ok {
+		t.Fatal("dropped response was still delivered")
+	}
+	if st := d.Stats(); st.DroppedResps != 1 {
+		t.Fatalf("DroppedResps=%d, want 1", st.DroppedResps)
+	}
+	if !d.Idle() {
+		t.Fatal("DRAM not idle after drop: the request leaked")
+	}
+}
+
+func TestFaultInjectorDelaysResponse(t *testing.T) {
+	cfg := DefaultConfig()
+	k, img, d := setup(cfg)
+	base := img.AllocWords(1)
+	img.WriteWords(base, []uint64{77})
+	const extra = 40
+	d.Faults = &scriptedFaults{delay: map[uint64]int{1: extra}}
+	d.Req.MustPush(Request{ID: 1, Addr: base, Words: 1})
+	var got sim.Cycle
+	rs := func() []Response {
+		var out []Response
+		k.RunUntil(func() bool {
+			if r, ok := d.Resp.Pop(); ok {
+				out = append(out, r)
+				got = k.Cycle()
+			}
+			return len(out) >= 1
+		}, 100000)
+		return out
+	}()
+	if len(rs) != 1 || rs[0].Data[0] != 77 {
+		t.Fatalf("delayed response wrong: %+v", rs)
+	}
+	// Re-run without the fault to find the natural latency.
+	k2, img2, d2 := setup(cfg)
+	base2 := img2.AllocWords(1)
+	img2.WriteWords(base2, []uint64{77})
+	d2.Req.MustPush(Request{ID: 1, Addr: base2, Words: 1})
+	var natural sim.Cycle
+	k2.RunUntil(func() bool {
+		if _, ok := d2.Resp.Pop(); ok {
+			natural = k2.Cycle()
+			return true
+		}
+		return false
+	}, 100000)
+	if got < natural+extra {
+		t.Fatalf("delayed delivery at %d, natural %d + %d extra not honored", got, natural, extra)
+	}
+	if st := d.Stats(); st.DelayedResps != 1 {
+		t.Fatalf("DelayedResps=%d, want 1", st.DelayedResps)
+	}
+}
+
+func TestDelayedResponseStillCountsPending(t *testing.T) {
+	k, img, d := setup(DefaultConfig())
+	base := img.AllocWords(1)
+	d.Faults = &scriptedFaults{delay: map[uint64]int{1: 500}}
+	d.Req.MustPush(Request{ID: 1, Addr: base, Words: 1})
+	k.Run(60) // enough for service, not for the injected delay
+	if d.Idle() {
+		t.Fatal("DRAM claims idle while a delayed response is in flight")
+	}
+	drain(t, k, d, 1)
+}
+
+// A randomized workload under strict protocol checking: the timing model
+// must never violate its own tRP/tRCD discipline.
+func TestProtocolCheckCleanUnderRandomLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	k, img, d := setup(cfg)
+	d.EnableProtocolCheck()
+	base := img.AllocWords(4096)
+	rng := rand.New(rand.NewSource(11))
+	issued := 0
+	k.Add(sim.ComponentFunc(func(c sim.Cycle) {
+		for i := 0; i < 2 && issued < 400; i++ {
+			if !d.Req.CanPush() {
+				return
+			}
+			addr := base + uint64(rng.Intn(4096))*8
+			d.Req.MustPush(Request{ID: uint64(issued), Addr: addr, Words: 1 + rng.Intn(4)})
+			issued++
+		}
+	}))
+	got := 0
+	if !k.RunUntil(func() bool {
+		for {
+			if _, ok := d.Resp.Pop(); !ok {
+				break
+			}
+			got++
+		}
+		return got >= 400
+	}, 1_000_000) {
+		t.Fatalf("drained %d/400", got)
+	}
+	if err := d.CheckInvariants(k.Cycle()); err != nil {
+		t.Fatalf("protocol violation on a fault-free run: %v", err)
+	}
+}
+
+func TestDiagnoseDescribesBanksAndWindow(t *testing.T) {
+	k, img, d := setup(DefaultConfig())
+	base := img.AllocWords(8)
+	d.Req.MustPush(Request{ID: 9, Addr: base, Words: 2})
+	k.Run(3)
+	if d.DiagnoseName() != "dram" {
+		t.Fatalf("DiagnoseName=%q", d.DiagnoseName())
+	}
+	lines := d.Diagnose()
+	if len(lines) < int(DefaultConfig().Banks)+1 {
+		t.Fatalf("diagnose too short: %v", lines)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"xcache/internal/addrcache"
 	"xcache/internal/btree"
+	"xcache/internal/check"
 	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dram"
@@ -59,6 +60,10 @@ type Options struct {
 	Cfg       core.Config
 	DRAM      dram.Config
 	MaxCycles int
+	// Check attaches the hardening harness to the X-Cache run. DRAM
+	// drop/delay faults never apply here — the controller's fills are
+	// served by the address-cache level, not a DRAM channel.
+	Check *check.Config
 }
 
 func (o *Options) defaults() {
@@ -226,8 +231,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 		}
 	})
 	k.Add(pump)
-	if !k.RunUntil(func() bool { return done == len(trace) }, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("btree xcache: timeout at %d/%d", done, len(trace))
+	h := check.Attach(k, opt.Check)
+	if ok, rep := check.Run(h, k, func() bool { return done == len(trace) }, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("btree xcache: aborted at %d/%d%s", done, len(trace), rep.Suffix())
 	}
 	cst := xc.Ctrl.Stats()
 	return dsa.Result{
@@ -238,6 +244,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 		L2UP50: cst.L2UHist.Percentile(0.5), L2UP99: cst.L2UHist.Percentile(0.99),
 		Occupancy: cst.OccupancyByteCycles,
 		Energy:    meter.Energy(energy.DefaultParams()), Checked: okAll,
+		FillRetries:  cst.FillRetries,
+		DroppedFills: d.Stats().DroppedResps,
+		ParityScrubs: cst.ParityScrubs,
 	}, nil
 }
 

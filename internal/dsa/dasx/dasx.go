@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"xcache/internal/addrcache"
+	"xcache/internal/check"
 	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dram"
@@ -32,6 +33,8 @@ type Options struct {
 	RoundSize  int // objects per refill-compute-update round
 	Lookahead  int // collector preload distance (X-Cache runs)
 	ComputePer int // compute cycles per object in the compute phase
+	// Check attaches the hardening harness to the X-Cache run.
+	Check *check.Config
 }
 
 func (o *Options) defaults() {
@@ -198,8 +201,9 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 	dp := &collector{c: sys.Cache.Ctrl, trace: trace, ix: ix,
 		lookahead: opt.Lookahead, computePer: opt.ComputePer, ok: true}
 	sys.K.Add(dp)
-	if !sys.K.RunUntil(func() bool { return dp.done == len(trace) }, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("dasx xcache: timeout at %d/%d", dp.done, len(trace))
+	h := check.Attach(sys.K, opt.Check)
+	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("dasx xcache: aborted at %d/%d%s", dp.done, len(trace), rep.Suffix())
 	}
 	st := sys.Snapshot()
 	return dsa.Result{
@@ -210,6 +214,9 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
 		Energy:    st.Energy, Checked: dp.ok,
+		FillRetries:  st.Ctrl.FillRetries,
+		DroppedFills: st.DRAM.DroppedResps,
+		ParityScrubs: st.Ctrl.ParityScrubs,
 	}, nil
 }
 

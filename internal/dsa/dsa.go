@@ -51,6 +51,14 @@ type Result struct {
 	// Checked is true when the run's functional output matched the
 	// reference implementation.
 	Checked bool
+
+	// Hardening counters, nonzero only when the run was supervised by
+	// internal/check with fault injection enabled: fills re-issued after
+	// a response timeout, DRAM read responses the injector dropped, and
+	// meta-tag entries invalidated by the parity scrub.
+	FillRetries  uint64
+	DroppedFills uint64
+	ParityScrubs uint64
 }
 
 // Speedup returns other.Cycles / r.Cycles (how much faster r is).

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"xcache/internal/addrcache"
+	"xcache/internal/check"
 	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dram"
@@ -73,6 +74,8 @@ type Options struct {
 	MaxCycles int
 	PEs       int // processing elements emitting events per cycle
 	Damping   float64
+	// Check attaches the hardening harness to the X-Cache run.
+	Check *check.Config
 }
 
 func (o *Options) defaults() {
@@ -411,8 +414,9 @@ func run(w Work, opt Options, hardwired bool) (dsa.Result, error) {
 		rank: make([]float64, g.N), inAdj: map[uint64]int{}}
 	sys.K.Add(e)
 
-	if !sys.K.RunUntil(func() bool { return e.done }, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("graphpulse: timeout in superstep %d", e.ss)
+	h := check.Attach(sys.K, opt.Check)
+	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("graphpulse: aborted in superstep %d%s", e.ss, rep.Suffix())
 	}
 
 	ref, _ := graph.DeltaPageRank(g, graph.PageRankParams{Damping: opt.Damping, Eps: w.Eps, MaxIter: w.MaxSS})
@@ -439,6 +443,9 @@ func run(w Work, opt Options, hardwired bool) (dsa.Result, error) {
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
 		Energy:    st.Energy, Checked: checked,
+		FillRetries:  st.Ctrl.FillRetries,
+		DroppedFills: st.DRAM.DroppedResps,
+		ParityScrubs: st.Ctrl.ParityScrubs,
 	}, nil
 }
 
@@ -654,8 +661,9 @@ func RunSSSP(w Work, opt Options, src int) (dsa.Result, error) {
 		e.settled[v] = inf
 	}
 	sys.K.Add(e)
-	if !sys.K.RunUntil(func() bool { return e.done }, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("graphpulse sssp: timeout in superstep %d", e.ss)
+	h := check.Attach(sys.K, opt.Check)
+	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("graphpulse sssp: aborted in superstep %d%s", e.ss, rep.Suffix())
 	}
 
 	ref := graph.BFS(g, src)
@@ -694,5 +702,8 @@ func RunSSSP(w Work, opt Options, src int) (dsa.Result, error) {
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
 		Energy:    st.Energy, Checked: checked,
+		FillRetries:  st.Ctrl.FillRetries,
+		DroppedFills: st.DRAM.DroppedResps,
+		ParityScrubs: st.Ctrl.ParityScrubs,
 	}, nil
 }

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"xcache/internal/addrcache"
+	"xcache/internal/check"
 	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dram"
@@ -69,6 +70,8 @@ type Options struct {
 	MaxCycles int
 	Lanes     int // multiplier lanes (compute cycles = nnz products / lanes)
 	Lookahead int // SpArch decoupled-preload distance (rows)
+	// Check attaches the hardening harness to the X-Cache run.
+	Check *check.Config
 }
 
 func (o *Options) defaults(alg Algorithm) {
@@ -389,8 +392,9 @@ func runX(alg Algorithm, w Work, opt Options, hardwired bool) (dsa.Result, error
 		lanes: opt.Lanes, lookahead: opt.Lookahead, ok: true}
 	sys.K.Add(dp)
 
-	if !sys.K.RunUntil(dp.finished, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("%s xcache: timeout at %d/%d rows", alg, dp.done, len(sched))
+	h := check.Attach(sys.K, opt.Check)
+	if ok, rep := check.Run(h, sys.K, dp.finished, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("%s xcache: aborted at %d/%d rows%s", alg, dp.done, len(sched), rep.Suffix())
 	}
 	st := sys.Snapshot()
 	kind := dsa.KindXCache
@@ -407,6 +411,9 @@ func runX(alg Algorithm, w Work, opt Options, hardwired bool) (dsa.Result, error
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
 		Energy:    st.Energy, Checked: dp.ok,
+		FillRetries:  st.Ctrl.FillRetries,
+		DroppedFills: st.DRAM.DroppedResps,
+		ParityScrubs: st.Ctrl.ParityScrubs,
 	}, nil
 }
 

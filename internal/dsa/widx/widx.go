@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"xcache/internal/addrcache"
+	"xcache/internal/check"
 	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dram"
@@ -56,6 +57,9 @@ type Options struct {
 	IssueWidth       int // datapath probes issued per cycle
 	BaselineContexts int // hardware walkers in the original Widx
 	Mode             ctrl.ExecMode
+	// Check attaches the hardening harness (watchdog, invariant checkers,
+	// fault injection) to the X-Cache run; nil runs unsupervised.
+	Check *check.Config
 }
 
 func (o *Options) defaults() {
@@ -201,8 +205,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	dp := &datapath{c: sys.Cache.Ctrl, trace: trace, ix: ix, issueW: opt.IssueWidth, ok: true}
 	sys.K.Add(dp)
 
-	if !sys.K.RunUntil(func() bool { return dp.done == len(trace) }, opt.MaxCycles) {
-		return dsa.Result{}, fmt.Errorf("widx xcache: timeout at %d/%d probes", dp.done, len(trace))
+	h := check.Attach(sys.K, opt.Check)
+	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
+		return dsa.Result{}, fmt.Errorf("widx xcache: aborted at %d/%d probes%s", dp.done, len(trace), rep.Suffix())
 	}
 	st := sys.Snapshot()
 	return dsa.Result{
@@ -215,9 +220,12 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 		AvgLoadToUse:  st.Ctrl.AvgLoadToUse(),
 		HitLoadToUse:  st.Ctrl.AvgHitLoadToUse(),
 		L2UP50:        st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
-		Occupancy: st.Ctrl.OccupancyByteCycles,
-		Energy:    st.Energy,
-		Checked:   dp.ok,
+		Occupancy:    st.Ctrl.OccupancyByteCycles,
+		Energy:       st.Energy,
+		Checked:      dp.ok,
+		FillRetries:  st.Ctrl.FillRetries,
+		DroppedFills: st.DRAM.DroppedResps,
+		ParityScrubs: st.Ctrl.ParityScrubs,
 	}, nil
 }
 

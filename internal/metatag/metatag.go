@@ -7,6 +7,7 @@ package metatag
 
 import (
 	"fmt"
+	"math/bits"
 
 	"xcache/internal/energy"
 )
@@ -42,8 +43,24 @@ type Entry struct {
 	SectorBase  int32
 	SectorCount int32
 
+	// Parity is the even-parity bit stored over the key words at
+	// allocation; a tag-RAM soft error (CorruptKeyBit) leaves it stale so
+	// the controller's scrub path can detect and refetch.
+	Parity uint8
+	// untracked marks an entry whose stored key bits were corrupted after
+	// allocation: the duplicate-alloc guard no longer tracks it.
+	untracked bool
+
 	lru uint64
 }
+
+// keyParity returns the even-parity bit over both key words.
+func keyParity(k Key) uint8 {
+	return uint8((bits.OnesCount64(k[0]) + bits.OnesCount64(k[1])) & 1)
+}
+
+// ParityOK reports whether the stored parity matches the stored key.
+func (e *Entry) ParityOK() bool { return e.Parity == keyParity(e.Key) }
 
 // Config sets the array geometry.
 type Config struct {
@@ -231,14 +248,17 @@ func (a *Array) Alloc(k Key, state int, walker int32) (*Entry, *Evicted, bool) {
 		}
 		ev = &Evicted{Key: victim.Key, Dirty: victim.Dirty,
 			SectorBase: victim.SectorBase, SectorCount: victim.SectorCount}
-		delete(a.present, victim.Key)
+		if !victim.untracked {
+			delete(a.present, victim.Key)
+		}
 	}
 	a.stats.Allocs++
 	if a.Meter != nil {
 		a.Meter.TagBytes += uint64(a.Cfg.TagBytes) // full entry write
 	}
 	a.tick++
-	*victim = Entry{Valid: true, Key: k, State: state, Walker: walker, lru: a.tick}
+	*victim = Entry{Valid: true, Key: k, State: state, Walker: walker,
+		Parity: keyParity(k), lru: a.tick}
 	a.present[k] = struct{}{}
 	return victim, ev, true
 }
@@ -251,8 +271,52 @@ func (a *Array) Dealloc(e *Entry) {
 	if a.Meter != nil {
 		a.Meter.TagBytes += StateBytes // valid-bit/state clear
 	}
-	delete(a.present, e.Key)
+	if !e.untracked {
+		delete(a.present, e.Key)
+	}
 	*e = Entry{Walker: NoWalker}
+}
+
+// CorruptKeyBit flips one stored key bit of a valid entry, modeling a
+// tag-RAM soft error. The duplicate-alloc guard drops the entry (hardware
+// has no such mirror; the stale bits simply occupy the way until the
+// parity scrub or an eviction removes them). word must be within the
+// configured KeyWords.
+func (a *Array) CorruptKeyBit(e *Entry, word, bit int) {
+	if !e.Valid {
+		panic("metatag: corrupting an invalid entry")
+	}
+	if word < 0 || word >= a.Cfg.KeyWords || bit < 0 || bit > 63 {
+		panic(fmt.Sprintf("metatag: corrupt word %d bit %d out of range", word, bit))
+	}
+	if !e.untracked {
+		delete(a.present, e.Key)
+		e.untracked = true
+	}
+	e.Key[word] ^= 1 << uint(bit)
+}
+
+// ScrubSet sweeps key's set for stable entries whose stored parity no
+// longer matches their key, invoking fn on each (so the controller can
+// free data sectors and count the refetch) before invalidating it. It
+// returns the number of entries scrubbed. Entries with an active walker
+// are left alone; their walker settles them first.
+func (a *Array) ScrubSet(k Key, fn func(*Entry)) int {
+	k = a.norm(k)
+	set := a.set(k)
+	n := 0
+	for i := range set {
+		e := &set[i]
+		if !e.Valid || e.Walker != NoWalker || e.ParityOK() {
+			continue
+		}
+		if fn != nil {
+			fn(e)
+		}
+		a.Dealloc(e)
+		n++
+	}
+	return n
 }
 
 // StateBytes is the width of the entry fields a state transition or

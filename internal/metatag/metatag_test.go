@@ -208,3 +208,97 @@ func TestBadGeometryPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestParityStoredOnAlloc(t *testing.T) {
+	a := newArray(4, 2)
+	e, _, ok := a.Alloc(Key{0b1011, 0b1}, 0, 3)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if !e.ParityOK() {
+		t.Fatal("fresh entry fails its own parity")
+	}
+	if e.Parity != 0 { // 4 set bits → even parity bit 0
+		t.Fatalf("parity bit %d, want 0", e.Parity)
+	}
+}
+
+func TestCorruptKeyBitDetectedAndScrubbed(t *testing.T) {
+	a := newArray(4, 2)
+	k := Key{42, 7}
+	e, _, _ := a.Alloc(k, 1, NoWalker)
+	e.Walker = NoWalker
+	a.CorruptKeyBit(e, 0, 5)
+	if e.ParityOK() {
+		t.Fatal("single-bit corruption passed the parity check")
+	}
+	// The scrub must find the entry via the original key's set, hand it
+	// to the callback, and invalidate it.
+	var scrubbed []Key
+	n := a.ScrubSet(k, func(v *Entry) { scrubbed = append(scrubbed, v.Key) })
+	if n != 1 || len(scrubbed) != 1 {
+		t.Fatalf("scrubbed %d entries, want 1", n)
+	}
+	if e.Valid {
+		t.Fatal("scrubbed entry still valid")
+	}
+	// The key is allocatable again: the duplicate-alloc guard released it.
+	if _, _, ok := a.Alloc(k, 1, NoWalker); !ok {
+		t.Fatal("re-alloc after scrub failed")
+	}
+}
+
+func TestCorruptedVictimDoesNotPoisonPresentMap(t *testing.T) {
+	a := New(Config{Sets: 1, Ways: 2, KeyWords: 1}, nil)
+	e, _, _ := a.Alloc(Key{9, 0}, 1, NoWalker)
+	a.CorruptKeyBit(e, 0, 0) // stored key bits become 8
+	// Key 8 is genuinely live in the other way.
+	if _, _, ok := a.Alloc(Key{8, 0}, 1, NoWalker); !ok {
+		t.Fatal("alloc of key 8 failed")
+	}
+	// Evicting the corrupted entry (the LRU victim) must not remove key
+	// 8's duplicate-guard record just because the corrupted bits read 8.
+	_, ev, ok := a.Alloc(Key{5, 0}, 1, NoWalker)
+	if !ok || ev == nil || ev.Key[0] != 8 {
+		t.Fatalf("expected the corrupted entry evicted, got ev=%+v ok=%v", ev, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate alloc of a live key did not panic: guard was poisoned by the corrupted victim")
+		}
+	}()
+	a.Alloc(Key{8, 0}, 1, NoWalker)
+}
+
+func TestScrubSkipsActiveWalkersAndCleanEntries(t *testing.T) {
+	a := newArray(1, 4) // one set: every key lands together
+	clean, _, _ := a.Alloc(Key{1, 0}, 1, NoWalker)
+	walked, _, _ := a.Alloc(Key{2, 0}, 0, 7) // active walker
+	a.CorruptKeyBit(walked, 0, 3)
+	if n := a.ScrubSet(Key{1, 0}, nil); n != 0 {
+		t.Fatalf("scrub removed %d entries; clean and walker-held entries must survive", n)
+	}
+	if !clean.Valid || !walked.Valid {
+		t.Fatal("scrub invalidated a protected entry")
+	}
+	// Once the walker releases it, the corrupted entry is fair game.
+	walked.Walker = NoWalker
+	if n := a.ScrubSet(Key{1, 0}, nil); n != 1 {
+		t.Fatalf("scrub after walker release removed %d, want 1", n)
+	}
+}
+
+func TestCorruptKeyBitRangeChecks(t *testing.T) {
+	a := New(Config{Sets: 1, Ways: 1, KeyWords: 1}, nil)
+	e, _, _ := a.Alloc(Key{1, 0}, 1, NoWalker)
+	for _, bad := range [][2]int{{1, 0}, {-1, 0}, {0, 64}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("CorruptKeyBit(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			a.CorruptKeyBit(e, bad[0], bad[1])
+		}()
+	}
+}

@@ -33,12 +33,59 @@ type committer interface {
 	commit()
 }
 
+// Observer is notified after every completed kernel step (all components
+// ticked, all queues committed), with the cycle that just executed.
+// Watchdogs and invariant checkers hang off this hook; when none are
+// registered the kernel pays nothing.
+type Observer interface {
+	AfterStep(c Cycle)
+}
+
+// QueueInfo is the type-erased introspection view of a Queue[T]; the
+// kernel exposes every registered queue through it so diagnostic layers
+// (stall reports, invariant checkers) need not know element types.
+type QueueInfo interface {
+	Name() string
+	Cap() int
+	Len() int
+	StagedLen() int
+	MaxLen() int
+	Pushes() uint64
+	Pops() uint64
+}
+
+// Clogger is implemented by queues that accept a fault hook making them
+// report transiently full (deterministic fault injection).
+type Clogger interface {
+	Name() string
+	SetClog(f func() bool)
+}
+
+// QueueFullError is the panic value raised by MustPush on a full queue.
+// It carries enough state to diagnose the overflow without a debugger;
+// hardened run loops (internal/check) recover it into a StallReport.
+type QueueFullError struct {
+	Queue     string
+	Cycle     Cycle
+	Occupancy int // committed entries at the failed push
+	Staged    int // staged (uncommitted) entries at the failed push
+	Cap       int
+	MaxLen    int
+}
+
+// Error implements error.
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("sim: MustPush on full queue %q at cycle %d (occupancy %d+%d staged / cap %d, high-water %d)",
+		e.Queue, e.Cycle, e.Occupancy, e.Staged, e.Cap, e.MaxLen)
+}
+
 // Kernel owns simulated time. Components are ticked in registration order,
 // then all queues commit their staged pushes.
 type Kernel struct {
-	cycle  Cycle
-	comps  []Component
-	queues []committer
+	cycle     Cycle
+	comps     []Component
+	queues    []committer
+	observers []Observer
 }
 
 // NewKernel returns an empty kernel at cycle 0.
@@ -46,6 +93,23 @@ func NewKernel() *Kernel { return &Kernel{} }
 
 // Add registers a component. Components are ticked in the order added.
 func (k *Kernel) Add(c Component) { k.comps = append(k.comps, c) }
+
+// Observe registers an observer called after every step.
+func (k *Kernel) Observe(o Observer) { k.observers = append(k.observers, o) }
+
+// Components returns the registered components in tick order.
+func (k *Kernel) Components() []Component { return k.comps }
+
+// Queues returns the introspection view of every registered queue.
+func (k *Kernel) Queues() []QueueInfo {
+	out := make([]QueueInfo, 0, len(k.queues))
+	for _, q := range k.queues {
+		if qi, ok := q.(QueueInfo); ok {
+			out = append(out, qi)
+		}
+	}
+	return out
+}
 
 // Cycle reports the current cycle (the number of completed steps).
 func (k *Kernel) Cycle() Cycle { return k.cycle }
@@ -58,6 +122,11 @@ func (k *Kernel) Step() {
 	}
 	for _, q := range k.queues {
 		q.commit()
+	}
+	if len(k.observers) != 0 {
+		for _, o := range k.observers {
+			o.AfterStep(k.cycle)
+		}
 	}
 	k.cycle++
 }
@@ -88,8 +157,10 @@ func (k *Kernel) RunUntil(done func() bool, max int) bool {
 type Queue[T any] struct {
 	name   string
 	cap    int
+	k      *Kernel
 	items  []T
 	staged []T
+	clog   func() bool // fault hook: true → report full this cycle
 
 	// Stats.
 	pushes uint64
@@ -103,7 +174,7 @@ func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: queue %q capacity must be positive, got %d", name, capacity))
 	}
-	q := &Queue[T]{name: name, cap: capacity}
+	q := &Queue[T]{name: name, cap: capacity, k: k}
 	k.queues = append(k.queues, q)
 	return q
 }
@@ -118,10 +189,25 @@ func (q *Queue[T]) Cap() int { return q.cap }
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // CanPush reports whether a push this cycle would be accepted.
-func (q *Queue[T]) CanPush() bool { return len(q.items)+len(q.staged) < q.cap }
+func (q *Queue[T]) CanPush() bool {
+	if q.clog != nil && q.clog() {
+		return false
+	}
+	return len(q.items)+len(q.staged) < q.cap
+}
 
 // Free returns how many pushes would currently be accepted.
-func (q *Queue[T]) Free() int { return q.cap - len(q.items) - len(q.staged) }
+func (q *Queue[T]) Free() int {
+	if q.clog != nil && q.clog() {
+		return 0
+	}
+	return q.cap - len(q.items) - len(q.staged)
+}
+
+// SetClog installs a fault hook: while f reports true the queue refuses
+// pushes as if full. f must be stable within a cycle so CanPush/Push pairs
+// stay consistent. Pass nil to clear. Implements Clogger.
+func (q *Queue[T]) SetClog(f func() bool) { q.clog = f }
 
 // Push stages v for commit at the end of the cycle. It reports false if
 // the queue is full (the caller must retry a later cycle).
@@ -131,14 +217,26 @@ func (q *Queue[T]) Push(v T) bool {
 	}
 	q.staged = append(q.staged, v)
 	q.pushes++
+	// The high-water mark tracks peak occupancy including staged entries:
+	// this is the occupancy producers see through CanPush, so a queue that
+	// fills and drains within one cycle still records the pressure.
+	if occ := len(q.items) + len(q.staged); occ > q.maxLen {
+		q.maxLen = occ
+	}
 	return true
 }
 
-// MustPush panics if the queue is full. Use only where the design
-// guarantees space (e.g., a response queue sized to outstanding requests).
+// MustPush panics with a *QueueFullError if the queue is full. Use only
+// where the design guarantees space (e.g., a response queue sized to
+// outstanding requests); hardened run loops recover the error into a
+// StallReport instead of crashing.
 func (q *Queue[T]) MustPush(v T) {
 	if !q.Push(v) {
-		panic("sim: MustPush on full queue " + q.name)
+		panic(&QueueFullError{
+			Queue: q.name, Cycle: q.k.cycle,
+			Occupancy: len(q.items), Staged: len(q.staged),
+			Cap: q.cap, MaxLen: q.maxLen,
+		})
 	}
 }
 
@@ -150,6 +248,10 @@ func (q *Queue[T]) Peek() (v T, ok bool) {
 	return q.items[0], true
 }
 
+// shrinkCap is the backing-array size above which a drained queue
+// re-allocates a smaller array (bounds memory on million-cycle runs).
+const shrinkCap = 32
+
 // Pop consumes and returns the head. ok is false when empty.
 func (q *Queue[T]) Pop() (v T, ok bool) {
 	if len(q.items) == 0 {
@@ -157,10 +259,18 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	}
 	v = q.items[0]
 	// Shift rather than re-slice so the backing array does not grow
-	// without bound over long simulations.
+	// without bound over long simulations, and zero the vacated slot so
+	// element payloads (e.g. fill data slices) become collectable.
 	copy(q.items, q.items[1:])
+	var zero T
+	q.items[len(q.items)-1] = zero
 	q.items = q.items[:len(q.items)-1]
 	q.pops++
+	if cap(q.items) >= shrinkCap && len(q.items) <= cap(q.items)/4 {
+		shrunk := make([]T, len(q.items), 2*len(q.items)+1)
+		copy(shrunk, q.items)
+		q.items = shrunk
+	}
 	return v, true
 }
 
@@ -170,12 +280,17 @@ func (q *Queue[T]) Pushes() uint64 { return q.pushes }
 // Pops returns the lifetime number of pops.
 func (q *Queue[T]) Pops() uint64 { return q.pops }
 
-// MaxLen returns the high-water mark of committed occupancy.
+// MaxLen returns the high-water mark of occupancy, counting staged
+// entries at the moment they were pushed (the back-pressure view).
 func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// StagedLen returns the number of staged (uncommitted) entries.
+func (q *Queue[T]) StagedLen() int { return len(q.staged) }
 
 func (q *Queue[T]) commit() {
 	if len(q.staged) > 0 {
 		q.items = append(q.items, q.staged...)
+		clear(q.staged) // release element payload references
 		q.staged = q.staged[:0]
 	}
 	if len(q.items) > q.maxLen {

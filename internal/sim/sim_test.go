@@ -166,3 +166,226 @@ func TestQueueStats(t *testing.T) {
 		t.Fatalf("stats: pushes=%d pops=%d max=%d", q.Pushes(), q.Pops(), q.MaxLen())
 	}
 }
+
+func TestRunUntilDoneAtEntryAndAtBudgetEdge(t *testing.T) {
+	// Done before the first step: no cycles may elapse.
+	k := NewKernel()
+	if !k.RunUntil(func() bool { return true }, 100) {
+		t.Fatal("RunUntil missed an already-true condition")
+	}
+	if k.Cycle() != 0 {
+		t.Fatalf("stepped %d cycles for an already-true condition", k.Cycle())
+	}
+	// Done becomes true exactly when the budget runs out: the final check
+	// after the last step must still see it.
+	k2 := NewKernel()
+	n := 0
+	k2.Add(ComponentFunc(func(c Cycle) { n++ }))
+	if !k2.RunUntil(func() bool { return n >= 5 }, 5) {
+		t.Fatal("RunUntil missed a condition satisfied by the last budgeted step")
+	}
+	// Never done: budget must bound the work exactly.
+	k3 := NewKernel()
+	steps := 0
+	k3.Add(ComponentFunc(func(c Cycle) { steps++ }))
+	if k3.RunUntil(func() bool { return false }, 7) {
+		t.Fatal("RunUntil reported completion for an impossible condition")
+	}
+	if steps != 7 {
+		t.Fatalf("ran %d steps, want exactly the budget of 7", steps)
+	}
+}
+
+// Same-cycle push+pop on an exactly-full queue. Pushes are staged but
+// pops act immediately, so the contract is asymmetric by design: a
+// producer ticked before the consumer sees the queue still full (its
+// push is refused; back-pressure is conservative), while a consumer
+// ticked first frees the slot for this cycle's push. Either way occupancy
+// never exceeds capacity and FIFO data is preserved.
+func TestFullQueueSameCyclePushPop(t *testing.T) {
+	run := func(producerFirst bool) (accepted int, q *Queue[int]) {
+		k := NewKernel()
+		q = NewQueue[int](k, "q", 1)
+		producer := ComponentFunc(func(c Cycle) {
+			if q.Push(int(c)) {
+				accepted++
+			}
+		})
+		consumer := ComponentFunc(func(c Cycle) { q.Pop() })
+		if producerFirst {
+			k.Add(producer)
+			k.Add(consumer)
+		} else {
+			k.Add(consumer)
+			k.Add(producer)
+		}
+		for i := 0; i < 6; i++ {
+			k.Step()
+			if q.Len()+q.StagedLen() > q.Cap() {
+				t.Fatalf("occupancy %d+%d exceeded cap %d", q.Len(), q.StagedLen(), q.Cap())
+			}
+		}
+		return accepted, q
+	}
+	// Producer first: the cycle-N push is refused while cycle N-1's entry
+	// is committed and un-popped, so pushes land every other cycle.
+	if accepted, _ := run(true); accepted != 3 {
+		t.Fatalf("producer-first accepted %d pushes in 6 cycles, want 3", accepted)
+	}
+	// Consumer first: each pop frees the single slot before the producer
+	// ticks, so every push is accepted.
+	if accepted, _ := run(false); accepted != 6 {
+		t.Fatalf("consumer-first accepted %d pushes in 6 cycles, want 6", accepted)
+	}
+}
+
+// Two components exchanging values through queues must produce identical
+// traffic regardless of registration order.
+func TestCommitOrderIndependence(t *testing.T) {
+	run := func(pingFirst bool) []int {
+		k := NewKernel()
+		ab := NewQueue[int](k, "ab", 4)
+		ba := NewQueue[int](k, "ba", 4)
+		var seen []int
+		ping := ComponentFunc(func(c Cycle) {
+			if v, ok := ba.Pop(); ok {
+				ab.Push(v + 1)
+			} else if c == 0 {
+				ab.Push(100)
+			}
+		})
+		pong := ComponentFunc(func(c Cycle) {
+			if v, ok := ab.Pop(); ok {
+				seen = append(seen, v)
+				ba.Push(v)
+			}
+		})
+		if pingFirst {
+			k.Add(ping)
+			k.Add(pong)
+		} else {
+			k.Add(pong)
+			k.Add(ping)
+		}
+		k.Run(12)
+		return seen
+	}
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("registration order changed traffic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("registration order changed traffic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMustPushPanicsWithDiagnosticError(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "resp", 2)
+	q.MustPush(1)
+	k.Step()
+	q.MustPush(2) // staged
+	defer func() {
+		r := recover()
+		qf, ok := r.(*QueueFullError)
+		if !ok {
+			t.Fatalf("panic value %T, want *QueueFullError", r)
+		}
+		if qf.Queue != "resp" || qf.Cycle != 1 || qf.Occupancy != 1 || qf.Staged != 1 || qf.Cap != 2 {
+			t.Fatalf("bad diagnostics: %+v", qf)
+		}
+		if qf.Error() == "" {
+			t.Fatal("empty error string")
+		}
+	}()
+	q.MustPush(3)
+}
+
+func TestMaxLenCountsStagedOccupancy(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 8)
+	// Fill-and-drain within single cycles: committed length never exceeds
+	// 1, but producers saw occupancy 3 through back-pressure.
+	q.MustPush(1)
+	q.MustPush(2)
+	q.MustPush(3)
+	k.Step()
+	q.Pop()
+	q.Pop()
+	if q.MaxLen() != 3 {
+		t.Fatalf("MaxLen=%d, want 3 (staged entries are real occupancy)", q.MaxLen())
+	}
+	q.MustPush(4)
+	q.MustPush(5)
+	if q.MaxLen() != 3 {
+		t.Fatalf("MaxLen=%d after partial refill, want 3", q.MaxLen())
+	}
+}
+
+func TestPopShrinksBackingArray(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4096)
+	for i := 0; i < 2048; i++ {
+		q.MustPush(i)
+	}
+	k.Step()
+	for i := 0; i < 2040; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	if c := cap(q.items); c > 64 {
+		t.Fatalf("backing array cap=%d after drain to len=%d; shrink did not engage", c, q.Len())
+	}
+	// The queue still works after shrinking.
+	if v, ok := q.Pop(); !ok || v != 2040 {
+		t.Fatalf("post-shrink pop: got (%d,%v), want (2040,true)", v, ok)
+	}
+}
+
+func TestClogMakesQueueReportFull(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	clogged := true
+	q.SetClog(func() bool { return clogged })
+	if q.CanPush() || q.Free() != 0 || q.Push(1) {
+		t.Fatal("clogged queue accepted a push")
+	}
+	clogged = false
+	if !q.Push(1) {
+		t.Fatal("unclogged queue refused a push")
+	}
+	q.SetClog(nil)
+	if !q.CanPush() {
+		t.Fatal("cleared clog still blocks")
+	}
+}
+
+func TestObserverRunsAfterCommit(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 4)
+	k.Add(ComponentFunc(func(c Cycle) {
+		if c == 0 {
+			q.Push(9)
+		}
+	}))
+	var lens []int
+	var cycles []Cycle
+	k.Observe(observerFunc(func(c Cycle) {
+		lens = append(lens, q.Len())
+		cycles = append(cycles, c)
+	}))
+	k.Run(2)
+	if len(lens) != 2 || lens[0] != 1 {
+		t.Fatalf("observer saw lens %v; cycle-0 push must be committed before AfterStep", lens)
+	}
+	if cycles[0] != 0 || cycles[1] != 1 {
+		t.Fatalf("observer cycles %v, want [0 1]", cycles)
+	}
+}
+
+type observerFunc func(c Cycle)
+
+func (f observerFunc) AfterStep(c Cycle) { f(c) }
