@@ -1,14 +1,27 @@
 GO ?= go
 
-.PHONY: verify vet race faultsmoke bench ci
+.PHONY: verify vet fmt golden race faultsmoke bench ci
 
-# Tier-1: the gate every change must pass (see ROADMAP.md).
-verify:
+# Tier-1: the gate every change must pass (see ROADMAP.md), plus the
+# static gates and the race detector over the parallel sweep engine.
+# The exp determinism/golden tests pin 8-worker runners internally, so
+# the race run exercises real cross-worker interleavings.
+verify: vet fmt
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/exp/...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Regenerate the golden snapshots after an intentional metric change,
+# then inspect the diff before committing.
+golden:
+	$(GO) test ./internal/exp -run TestGoldenOutputs -update
 
 # Tier-2: static analysis + race detector over the full suite.
 race: vet

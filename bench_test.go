@@ -7,7 +7,9 @@
 //	go test -bench=. -benchmem
 //
 // The workload scale divisor defaults to 25 (seconds per figure); set
-// XCACHE_BENCH_SCALE=1 to run the published workload sizes.
+// XCACHE_BENCH_SCALE=1 to run the published workload sizes and
+// XCACHE_BENCH_WORKERS to pin the sweep-engine worker count (default
+// GOMAXPROCS; results are identical for any value).
 package xcache
 
 import (
@@ -18,30 +20,49 @@ import (
 	"testing"
 
 	"xcache/internal/exp"
+	"xcache/internal/exp/runner"
 )
 
-func benchScale() int {
-	if s := os.Getenv("XCACHE_BENCH_SCALE"); s != "" {
+func benchEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
 		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
 			return n
 		}
 	}
-	return 25
+	return def
 }
 
+func benchScale() int { return benchEnvInt("XCACHE_BENCH_SCALE", 25) }
+
 var (
+	runnerOnce  sync.Once
+	benchRunner *runner.Runner
+
 	sweepOnce sync.Once
 	sweepVal  *exp.Sweep
 	sweepErr  error
 )
 
+// benchRun returns the process-wide runner: one content-addressed run
+// cache shared by every benchmark, so points repeated across figures
+// simulate once.
+func benchRun() *runner.Runner {
+	runnerOnce.Do(func() {
+		benchRunner = runner.New(benchEnvInt("XCACHE_BENCH_WORKERS", 0))
+	})
+	return benchRunner
+}
+
+// sweep runs the shared Fig 14 sweep once; a sweep failure is surfaced
+// through b.Fatal by every benchmark that depends on it, not just the
+// first caller.
 func sweep(b *testing.B) *exp.Sweep {
 	b.Helper()
 	sweepOnce.Do(func() {
-		sweepVal, sweepErr = exp.RunSweep(benchScale())
+		sweepVal, sweepErr = exp.RunSweep(benchRun(), benchScale())
 	})
 	if sweepErr != nil {
-		b.Fatal(sweepErr)
+		b.Fatalf("sweep failed: %v", sweepErr)
 	}
 	return sweepVal
 }
@@ -68,7 +89,7 @@ func BenchmarkFig04LoadToUse(b *testing.B) {
 // coroutines vs blocking threads across off-chip fractions.
 func BenchmarkFig07Occupancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.Fig7(benchScale())
+		out, err := exp.Fig7(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +125,7 @@ func BenchmarkFig16Breakdown(b *testing.B) {
 // as the fraction of the index held on chip grows (TPC-H-22).
 func BenchmarkFig17CapacitySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.Fig17(benchScale())
+		out, err := exp.Fig17(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +137,7 @@ func BenchmarkFig17CapacitySweep(b *testing.B) {
 // #Exe for GraphPulse and Widx.
 func BenchmarkFig18ParallelismSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.Fig18(benchScale())
+		out, err := exp.Fig18(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +164,7 @@ func BenchmarkFig20ASICLayout(b *testing.B) {
 // controller against a hardwired FSM with identical structures.
 func BenchmarkAblationProgrammability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.AblationProgrammability(benchScale())
+		out, err := exp.AblationProgrammability(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +176,7 @@ func BenchmarkAblationProgrammability(b *testing.B) {
 // (decoupled preload distance, coroutines vs blocking threads).
 func BenchmarkAblationDesignChoices(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.AblationDesignChoices(benchScale())
+		out, err := exp.AblationDesignChoices(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +188,7 @@ func BenchmarkAblationDesignChoices(b *testing.B) {
 // sixth DSA family, composed as §6 MXA).
 func BenchmarkExtensionBTree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := exp.ExtensionBTree(benchScale())
+		out, err := exp.ExtensionBTree(benchRun(), benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -3,26 +3,33 @@
 //
 // Usage:
 //
-//	xcache-bench [-scale N] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4]
+//	xcache-bench [-scale N] [-parallel N] [-v] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4,btree,ablation]
 //
 // scale divides the published workload sizes (and cache capacities with
 // them); -scale 1 runs the paper-scale configuration and takes several
-// minutes.
+// minutes. -parallel sets the sweep-engine worker count (default
+// GOMAXPROCS); output is byte-identical for every worker count. -v
+// prints the runner statistics (runs launched/cached/failed, per-run
+// cycles and wall time, peak workers) on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"xcache/internal/exp"
+	"xcache/internal/exp/runner"
 )
 
 func main() {
 	scale := flag.Int("scale", 25, "workload scale divisor (1 = paper scale)")
-	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, ablation) or 'all'")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-engine workers (results are identical for any value)")
+	verbose := flag.Bool("v", false, "print runner statistics (launched/cached/failed, per-run wall time)")
+	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, btree, ablation) or 'all'")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -32,6 +39,11 @@ func main() {
 		}
 	}
 	sel := func(id string) bool { return *figs == "all" || want[id] }
+
+	// One runner for the whole invocation: points shared between figures
+	// (the sweep baselines reappear in Fig 7/17 and the ablations) are
+	// simulated once and served from the content-addressed run cache.
+	run := runner.New(*parallel)
 
 	var outs []*exp.Out
 	fail := func(err error) {
@@ -55,9 +67,9 @@ func main() {
 	needSweep := sel("4") || sel("14") || sel("15") || sel("16")
 	var sw *exp.Sweep
 	if needSweep {
-		fmt.Fprintf(os.Stderr, "running full DSA sweep at scale %d...\n", *scale)
+		fmt.Fprintf(os.Stderr, "running full DSA sweep at scale %d (%d workers)...\n", *scale, run.Workers())
 		var err error
-		sw, err = exp.RunSweep(*scale)
+		sw, err = exp.RunSweep(run, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -66,7 +78,7 @@ func main() {
 		outs = append(outs, exp.Fig4(sw))
 	}
 	if sel("7") {
-		o, err := exp.Fig7(*scale)
+		o, err := exp.Fig7(run, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -82,14 +94,14 @@ func main() {
 		outs = append(outs, exp.Fig16(sw))
 	}
 	if sel("17") {
-		o, err := exp.Fig17(*scale)
+		o, err := exp.Fig17(run, *scale)
 		if err != nil {
 			fail(err)
 		}
 		outs = append(outs, o)
 	}
 	if sel("18") {
-		o, err := exp.Fig18(*scale)
+		o, err := exp.Fig18(run, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -102,19 +114,19 @@ func main() {
 		outs = append(outs, exp.Fig20())
 	}
 	if sel("btree") {
-		o, err := exp.ExtensionBTree(*scale)
+		o, err := exp.ExtensionBTree(run, *scale)
 		if err != nil {
 			fail(err)
 		}
 		outs = append(outs, o)
 	}
 	if sel("ablation") {
-		o, err := exp.AblationProgrammability(*scale)
+		o, err := exp.AblationProgrammability(run, *scale)
 		if err != nil {
 			fail(err)
 		}
 		outs = append(outs, o)
-		o, err = exp.AblationDesignChoices(*scale)
+		o, err = exp.AblationDesignChoices(run, *scale)
 		if err != nil {
 			fail(err)
 		}
@@ -137,5 +149,11 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if *verbose {
+		st := run.Stats()
+		fmt.Fprint(os.Stderr, st.String())
+		fmt.Fprint(os.Stderr, st.Detail())
 	}
 }

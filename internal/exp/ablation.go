@@ -4,11 +4,8 @@ import (
 	"fmt"
 
 	"xcache/internal/ctrl"
-	"xcache/internal/dsa/btreeidx"
-	"xcache/internal/dsa/dasx"
-	"xcache/internal/dsa/graphpulse"
-	"xcache/internal/dsa/spgemm"
-	"xcache/internal/dsa/widx"
+	"xcache/internal/dsa"
+	"xcache/internal/exp/runner"
 	"xcache/internal/hashidx"
 	"xcache/internal/stats"
 )
@@ -19,84 +16,50 @@ import (
 // programmable controller adds <7% energy; §8.1: no performance loss).
 // The hardwired twin executes each routine in one cycle and fetches no
 // microcode; everything else is shared.
-func AblationProgrammability(scale int) (*Out, error) {
+func AblationProgrammability(r *runner.Runner, scale int) (*Out, error) {
 	t := stats.NewTable("Ablation — programmable controller vs hardwired FSM",
 		"DSA", "Workload", "Cycles (prog)", "Cycles (hard)", "Slowdown", "Routine-RAM energy share")
 	m := map[string]float64{}
 	worstSlow, worstRtn := 0.0, 0.0
 
-	record := func(name, workload string, progCycles, hardCycles uint64, rtnShare float64) {
-		slow := float64(progCycles) / float64(hardCycles)
+	record := func(name, workload string, prog, hard dsa.Result) {
+		slow := float64(prog.Cycles) / float64(hard.Cycles)
 		if slow > worstSlow {
 			worstSlow = slow
 		}
+		rtnShare := prog.Energy.RoutineRAM / prog.Energy.OnChip()
 		if rtnShare > worstRtn {
 			worstRtn = rtnShare
 		}
-		t.Add(name, workload, stats.I(progCycles), stats.I(hardCycles),
+		t.Add(name, workload, stats.I(prog.Cycles), stats.I(hard.Cycles),
 			stats.F2(slow)+"x", stats.Pct(rtnShare))
 	}
 
-	// Widx (TPC-H-19): hardwired twin via the DASX runner? No — Widx's
-	// baseline is the original Widx, so build the hardwired twin directly.
+	// Widx and DASX (TPC-H-19): the hardwired twin shares every structure
+	// and flips only Cfg.Hardwired. SpArch/Gamma's RunBaseline is exactly
+	// the hardwired twin, as is GraphPulse's.
 	p := hashidx.TPCH()[0]
-	hw := widx.DefaultWork(p, scale)
-	wOpt := widxOpts(scale)
-	prog, err := widx.RunXCache(hw, wOpt)
+	specs := []runner.Spec{
+		{DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale},
+		{DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale, Hardwired: true},
+		{DSA: runner.DSADASX, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale},
+		{DSA: runner.DSADASX, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale, Hardwired: true},
+		{DSA: runner.DSASpArch, Kind: dsa.KindXCache, Workload: "p2p-31", Scale: scale},
+		{DSA: runner.DSASpArch, Kind: dsa.KindBaseline, Workload: "p2p-31", Scale: scale},
+		{DSA: runner.DSAGamma, Kind: dsa.KindXCache, Workload: "p2p-31", Scale: scale},
+		{DSA: runner.DSAGamma, Kind: dsa.KindBaseline, Workload: "p2p-31", Scale: scale},
+		{DSA: runner.DSAGraphPulse, Kind: dsa.KindXCache, Workload: "p2p-08", Scale: scale},
+		{DSA: runner.DSAGraphPulse, Kind: dsa.KindBaseline, Workload: "p2p-08", Scale: scale},
+	}
+	res, err := r.Run(specs)
 	if err != nil {
 		return nil, err
 	}
-	hOpt := wOpt
-	hOpt.Cfg.Hardwired = true
-	hard, err := widx.RunXCache(hw, hOpt)
-	if err != nil {
-		return nil, err
-	}
-	record("Widx", p.Name, prog.Cycles, hard.Cycles,
-		prog.Energy.RoutineRAM/prog.Energy.OnChip())
-
-	// DASX.
-	dOpt := dasxOpts(scale)
-	dProg, err := dasx.RunXCache(hw, dOpt)
-	if err != nil {
-		return nil, err
-	}
-	dhOpt := dOpt
-	dhOpt.Cfg.Hardwired = true
-	dHard, err := dasx.RunXCache(hw, dhOpt)
-	if err != nil {
-		return nil, err
-	}
-	record("DASX", p.Name, dProg.Cycles, dHard.Cycles,
-		dProg.Energy.RoutineRAM/dProg.Energy.OnChip())
-
-	// SpArch and Gamma: RunBaseline is exactly the hardwired twin.
-	sp := spgemm.P2PGnutella31(scale)
-	for _, alg := range []spgemm.Algorithm{spgemm.SpArch, spgemm.Gamma} {
-		x, err := spgemm.RunXCache(alg, sp, spgemmOpts(alg, scale))
-		if err != nil {
-			return nil, err
-		}
-		h, err := spgemm.RunBaseline(alg, sp, spgemmOpts(alg, scale))
-		if err != nil {
-			return nil, err
-		}
-		record(string(alg), "p2p-31", x.Cycles, h.Cycles,
-			x.Energy.RoutineRAM/x.Energy.OnChip())
-	}
-
-	// GraphPulse.
-	gw := graphpulse.P2PGnutella08(scale)
-	gx, err := graphpulse.RunXCache(gw, gpOpts(scale))
-	if err != nil {
-		return nil, err
-	}
-	gh, err := graphpulse.RunBaseline(gw, gpOpts(scale))
-	if err != nil {
-		return nil, err
-	}
-	record("GraphPulse", gw.Name, gx.Cycles, gh.Cycles,
-		gx.Energy.RoutineRAM/gx.Energy.OnChip())
+	record("Widx", p.Name, res[0], res[1])
+	record("DASX", p.Name, res[2], res[3])
+	record("SpArch", "p2p-31", res[4], res[5])
+	record("Gamma", "p2p-31", res[6], res[7])
+	record("GraphPulse", "p2p-08", res[8], res[9])
 
 	m["worst_slowdown"] = worstSlow
 	m["worst_routine_ram_share"] = worstRtn
@@ -105,47 +68,44 @@ func AblationProgrammability(scale int) (*Out, error) {
 }
 
 // AblationDesignChoices measures the individual design decisions
-// DESIGN.md calls out: GraphPulse's identity set-indexing (vs a hashed
-// index that causes conflict evictions in the direct-mapped event store)
-// and DASX's decoupled preload distance.
-func AblationDesignChoices(scale int) (*Out, error) {
+// DESIGN.md calls out: DASX's decoupled preload distance and the §3.3
+// coroutine-vs-thread walker multiplexing choice.
+func AblationDesignChoices(r *runner.Runner, scale int) (*Out, error) {
 	t := stats.NewTable("Ablation — design choices",
 		"Choice", "Variant", "Cycles", "Note")
 	m := map[string]float64{}
 
-	// DASX preload lookahead.
 	p := hashidx.TPCH()[0]
-	hw := widx.DefaultWork(p, scale)
-	var base uint64
-	for _, la := range []int{1, 16, 64} {
-		opt := dasxOpts(scale)
-		opt.Lookahead = la
-		r, err := dasx.RunXCache(hw, opt)
-		if err != nil {
-			return nil, err
-		}
-		if la == 1 {
-			base = r.Cycles
-		}
-		t.Add("DASX preload", fmt.Sprintf("lookahead %d", la), stats.I(r.Cycles),
-			fmt.Sprintf("%.2fx vs lookahead 1", float64(base)/float64(r.Cycles)))
+	lookaheads := []int{1, 16, 64}
+	var specs []runner.Spec
+	for _, la := range lookaheads {
+		specs = append(specs, runner.Spec{
+			DSA: runner.DSADASX, Kind: dsa.KindXCache, Workload: p.Name,
+			Scale: scale, Lookahead: la,
+		})
+	}
+	specs = append(specs,
+		runner.Spec{DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale},
+		runner.Spec{DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name, Scale: scale, Mode: ctrl.ModeThread},
+	)
+	res, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// DASX preload lookahead.
+	base := res[0].Cycles
+	for i, la := range lookaheads {
+		cyc := res[i].Cycles
+		t.Add("DASX preload", fmt.Sprintf("lookahead %d", la), stats.I(cyc),
+			fmt.Sprintf("%.2fx vs lookahead 1", float64(base)/float64(cyc)))
 		if la == 64 {
-			m["dasx_preload_gain"] = float64(base) / float64(r.Cycles)
+			m["dasx_preload_gain"] = float64(base) / float64(cyc)
 		}
 	}
 
 	// Coroutine vs thread (the §3.3 choice), runtime view.
-	wOpt := widxOpts(scale)
-	rc, err := widx.RunXCache(hw, wOpt)
-	if err != nil {
-		return nil, err
-	}
-	tOpt := wOpt
-	tOpt.Mode = ctrl.ModeThread
-	rt, err := widx.RunXCache(hw, tOpt)
-	if err != nil {
-		return nil, err
-	}
+	rc, rt := res[len(lookaheads)], res[len(lookaheads)+1]
 	t.Add("Walker multiplexing", "coroutines", stats.I(rc.Cycles), "design point")
 	t.Add("Walker multiplexing", "blocking threads", stats.I(rt.Cycles),
 		fmt.Sprintf("%.2fx slower, %.0fx occupancy", float64(rt.Cycles)/float64(rc.Cycles),
@@ -163,23 +123,18 @@ func AblationDesignChoices(scale int) (*Out, error) {
 // as §6's MXA (meta-tags over an address cache holding the tree's hot
 // upper levels), against a pure address-cache baseline with the same
 // total on-chip budget.
-func ExtensionBTree(scale int) (*Out, error) {
-	w := btreeidx.DefaultWork(scale)
+func ExtensionBTree(r *runner.Runner, scale int) (*Out, error) {
 	// Trees reward capacity on the hot path (upper levels + hot keys);
 	// keep the budget in the regime where both systems capture reuse.
-	div := scale / 8
-	if div < 1 {
-		div = 1
+	specs := []runner.Spec{
+		{DSA: runner.DSABTreeIdx, Kind: dsa.KindXCache, Workload: "zipf", Scale: scale},
+		{DSA: runner.DSABTreeIdx, Kind: dsa.KindAddr, Workload: "zipf", Scale: scale},
 	}
-	opt := btreeidx.Options{Cfg: btreeidx.Config().Scaled(div)}
-	x, err := btreeidx.RunXCache(w, opt)
+	res, err := r.Run(specs)
 	if err != nil {
 		return nil, err
 	}
-	a, err := btreeidx.RunAddr(w, opt)
-	if err != nil {
-		return nil, err
-	}
+	x, a := res[0], res[1]
 	if !x.Checked || !a.Checked {
 		return nil, fmt.Errorf("btree extension failed functional validation")
 	}

@@ -14,12 +14,8 @@ import (
 	"fmt"
 	"math"
 
-	"xcache/internal/core"
 	"xcache/internal/dsa"
-	"xcache/internal/dsa/dasx"
-	"xcache/internal/dsa/graphpulse"
-	"xcache/internal/dsa/spgemm"
-	"xcache/internal/dsa/widx"
+	"xcache/internal/exp/runner"
 	"xcache/internal/hashidx"
 	"xcache/internal/stats"
 )
@@ -30,54 +26,6 @@ type Out struct {
 	Table   *stats.Table
 	Metrics map[string]float64
 	Notes   []string
-}
-
-// cacheDiv maps a workload scale to the cache-capacity divisor that keeps
-// the working-set-to-capacity ratio of the paper's configuration.
-func cacheDiv(scale int) int {
-	d := scale / 3
-	if d < 1 {
-		d = 1
-	}
-	return d
-}
-
-func widxOpts(scale int) widx.Options {
-	return widx.Options{Cfg: core.WidxConfig().Scaled(cacheDiv(scale))}
-}
-
-func dasxOpts(scale int) dasx.Options {
-	return dasx.Options{Cfg: core.DASXConfig().Scaled(cacheDiv(scale))}
-}
-
-func spgemmOpts(alg spgemm.Algorithm, scale int) spgemm.Options {
-	d := scale / 8
-	if d < 1 {
-		d = 1
-	}
-	cfg := core.SpArchConfig()
-	if alg == spgemm.Gamma {
-		cfg = core.GammaConfig()
-	}
-	return spgemm.Options{Cfg: cfg.Scaled(d)}
-}
-
-func gpOpts(scale int) graphpulse.Options {
-	return gpOptsFor(graphpulse.P2PGnutella08(scale), scale)
-}
-
-func gpOptsFor(w graphpulse.Work, scale int) graphpulse.Options {
-	cfg := core.GraphPulseConfig()
-	if scale > 1 || w.N > cfg.Sets {
-		// Keep the collision-free identity-indexed store: sets ≥ 2N.
-		sets := 1024
-		for sets < 2*w.N {
-			sets *= 2
-		}
-		cfg.Sets = sets
-		cfg.Sectors = 2 * sets
-	}
-	return graphpulse.Options{Cfg: cfg}
 }
 
 // Sweep holds the full DSA × workload × storage-idiom result matrix that
@@ -114,72 +62,60 @@ func (s *Sweep) Pairs(other dsa.Kind) (xs, os []dsa.Result) {
 	return xs, os
 }
 
-// RunSweep executes every (DSA, workload, idiom) combination of Fig 14.
-func RunSweep(scale int) (*Sweep, error) {
-	sw := &Sweep{Scale: scale}
-	add := func(r dsa.Result, err error) error {
-		if err != nil {
-			return err
-		}
-		if !r.Checked {
-			return fmt.Errorf("exp: %s/%s[%s] failed functional validation", r.DSA, r.Workload, r.Kind)
-		}
-		sw.Results = append(sw.Results, r)
-		return nil
-	}
+// sweepKinds is the serial-path kind order within each (DSA, workload).
+var sweepKinds = []dsa.Kind{dsa.KindXCache, dsa.KindAddr, dsa.KindBaseline}
+
+// SweepSpecs returns the full Fig 14 result matrix as independent run
+// specs, in the canonical (historical serial-path) order.
+func SweepSpecs(scale int) []runner.Spec {
+	var specs []runner.Spec
 
 	// Widx and DASX over the three TPC-H query profiles.
 	for _, p := range hashidx.TPCH() {
-		w := widx.DefaultWork(p, scale)
-		if err := add(widx.RunXCache(w, widxOpts(scale))); err != nil {
-			return nil, err
-		}
-		if err := add(widx.RunAddr(w, widxOpts(scale))); err != nil {
-			return nil, err
-		}
-		if err := add(widx.RunBaseline(w, widxOpts(scale))); err != nil {
-			return nil, err
-		}
-		if err := add(dasx.RunXCache(w, dasxOpts(scale))); err != nil {
-			return nil, err
-		}
-		if err := add(dasx.RunAddr(w, dasxOpts(scale))); err != nil {
-			return nil, err
-		}
-		if err := add(dasx.RunBaseline(w, dasxOpts(scale))); err != nil {
-			return nil, err
+		for _, d := range []string{runner.DSAWidx, runner.DSADASX} {
+			for _, k := range sweepKinds {
+				specs = append(specs, runner.Spec{DSA: d, Kind: k, Workload: p.Name, Scale: scale})
+			}
 		}
 	}
 
 	// SpArch and Gamma on p2p-Gnutella31.
-	sp := spgemm.P2PGnutella31(scale)
-	for _, alg := range []spgemm.Algorithm{spgemm.SpArch, spgemm.Gamma} {
-		if err := add(spgemm.RunXCache(alg, sp, spgemmOpts(alg, scale))); err != nil {
-			return nil, err
-		}
-		if err := add(spgemm.RunAddr(alg, sp, spgemmOpts(alg, scale))); err != nil {
-			return nil, err
-		}
-		if err := add(spgemm.RunBaseline(alg, sp, spgemmOpts(alg, scale))); err != nil {
-			return nil, err
+	for _, d := range []string{runner.DSASpArch, runner.DSAGamma} {
+		for _, k := range sweepKinds {
+			specs = append(specs, runner.Spec{DSA: d, Kind: k, Workload: "p2p-31", Scale: scale})
 		}
 	}
 
 	// GraphPulse on p2p-Gnutella08 and (further scaled — the published
 	// input is 916K vertices / 5.1M edges) web-Google.
-	gw := graphpulse.P2PGnutella08(scale)
-	web := graphpulse.WebGoogle(scale * 4)
-	for _, w := range []graphpulse.Work{gw, web} {
-		opt := gpOptsFor(w, scale)
-		if err := add(graphpulse.RunXCache(w, opt)); err != nil {
-			return nil, err
+	for _, w := range []runner.Spec{
+		{Workload: "p2p-08", Scale: scale},
+		{Workload: "web-Google", Scale: scale, WorkScale: scale * 4},
+	} {
+		for _, k := range sweepKinds {
+			s := w
+			s.DSA = runner.DSAGraphPulse
+			s.Kind = k
+			specs = append(specs, s)
 		}
-		if err := add(graphpulse.RunAddr(w, opt)); err != nil {
-			return nil, err
+	}
+	return specs
+}
+
+// RunSweep executes every (DSA, workload, idiom) combination of Fig 14
+// on the given runner. Results are ordered and validated identically to
+// the historical serial path regardless of the runner's worker count.
+func RunSweep(r *runner.Runner, scale int) (*Sweep, error) {
+	results, err := r.Run(SweepSpecs(scale))
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Scale: scale}
+	for _, res := range results {
+		if !res.Checked {
+			return nil, fmt.Errorf("exp: %s/%s[%s] failed functional validation", res.DSA, res.Workload, res.Kind)
 		}
-		if err := add(graphpulse.RunBaseline(w, opt)); err != nil {
-			return nil, err
-		}
+		sw.Results = append(sw.Results, res)
 	}
 	return sw, nil
 }

@@ -5,18 +5,23 @@ import (
 	"testing"
 
 	"xcache/internal/dsa"
+	"xcache/internal/exp/runner"
 )
 
 // testScale keeps unit-test sweeps to a couple of seconds while
 // preserving the working-set-to-capacity regime.
 const testScale = 100
 
+// testRunner is shared by the whole test package: one content-addressed
+// run cache, so points repeated across figure tests simulate once.
+var testRunner = runner.New(0)
+
 var sweepCache *Sweep
 
 func sweep(t *testing.T) *Sweep {
 	t.Helper()
 	if sweepCache == nil {
-		sw, err := RunSweep(testScale)
+		sw, err := RunSweep(testRunner, testScale)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +118,7 @@ func TestFig16Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	out, err := Fig7(testScale)
+	out, err := Fig7(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +128,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig17Shape(t *testing.T) {
-	out, err := Fig17(testScale)
+	out, err := Fig17(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +143,7 @@ func TestFig17Shape(t *testing.T) {
 }
 
 func TestFig18Shape(t *testing.T) {
-	out, err := Fig18(testScale)
+	out, err := Fig18(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +158,7 @@ func TestFig18Shape(t *testing.T) {
 }
 
 func TestExtensionBTree(t *testing.T) {
-	out, err := ExtensionBTree(testScale)
+	out, err := ExtensionBTree(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +195,7 @@ func TestSweepRejectsBrokenRuns(t *testing.T) {
 }
 
 func TestAblationProgrammability(t *testing.T) {
-	out, err := AblationProgrammability(testScale)
+	out, err := AblationProgrammability(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +212,7 @@ func TestAblationProgrammability(t *testing.T) {
 }
 
 func TestAblationDesignChoices(t *testing.T) {
-	out, err := AblationDesignChoices(testScale)
+	out, err := AblationDesignChoices(testRunner, testScale)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,11 +3,9 @@ package exp
 import (
 	"fmt"
 
-	"xcache/internal/core"
 	"xcache/internal/ctrl"
 	"xcache/internal/dsa"
-	"xcache/internal/dsa/graphpulse"
-	"xcache/internal/dsa/widx"
+	"xcache/internal/exp/runner"
 	"xcache/internal/hashidx"
 	"xcache/internal/stats"
 )
@@ -40,29 +38,28 @@ func Fig4(sw *Sweep) *Out {
 // Fig7 regenerates the occupancy comparison (coroutines vs threads) as
 // the fraction of data off-chip grows. Occupancy is Σ active-reg ×
 // size-bytes × lifetime-cycles, the paper's metric.
-func Fig7(scale int) (*Out, error) {
+func Fig7(r *runner.Runner, scale int) (*Out, error) {
 	t := stats.NewTable("Fig 7 — Controller occupancy (byte-cycles), coroutine vs thread",
 		"CacheDiv", "OffChipFrac", "Coroutine", "Thread", "Ratio")
 	p := hashidx.TPCH()[2]
-	w := widx.DefaultWork(p, scale)
+	divs := []int{2, 8, 32, 128}
+	var specs []runner.Spec
+	for _, div := range divs {
+		for _, mode := range []ctrl.ExecMode{ctrl.ModeCoroutine, ctrl.ModeThread} {
+			specs = append(specs, runner.Spec{
+				DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name,
+				Scale: scale, DivMul: div, Mode: mode,
+			})
+		}
+	}
+	res, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
 	m := map[string]float64{}
 	var worstRatio float64
-	for _, div := range []int{2, 8, 32, 128} {
-		base := widxOpts(scale)
-		base.Cfg = core.WidxConfig().Scaled(cacheDiv(scale) * div)
-
-		co := base
-		co.Mode = ctrl.ModeCoroutine
-		rc, err := widx.RunXCache(w, co)
-		if err != nil {
-			return nil, err
-		}
-		th := base
-		th.Mode = ctrl.ModeThread
-		rt, err := widx.RunXCache(w, th)
-		if err != nil {
-			return nil, err
-		}
+	for i, div := range divs {
+		rc, rt := res[2*i], res[2*i+1]
 		ratio := float64(rt.Occupancy) / float64(rc.Occupancy)
 		if ratio > worstRatio {
 			worstRatio = ratio
@@ -118,25 +115,28 @@ func Fig14(sw *Sweep) *Out {
 // Fig17 regenerates "X-Cache runtime vs Widx" for TPC-H-22 across the
 // fraction of the index that fits on chip, runtimes normalized to the
 // smallest cache (≈ all data in DRAM).
-func Fig17(scale int) (*Out, error) {
+func Fig17(r *runner.Runner, scale int) (*Out, error) {
 	t := stats.NewTable("Fig 17 — Runtime vs % on-chip (TPC-H-22, normalized to smallest cache)",
 		"CacheDiv", "HitRate", "X-Cache", "Widx")
 	p := hashidx.TPCH()[2]
-	w := widx.DefaultWork(p, scale)
 	divs := []int{64, 16, 4, 1}
+	var specs []runner.Spec
+	for _, div := range divs {
+		for _, k := range []dsa.Kind{dsa.KindXCache, dsa.KindBaseline} {
+			specs = append(specs, runner.Spec{
+				DSA: runner.DSAWidx, Kind: k, Workload: p.Name,
+				Scale: scale, DivMul: div,
+			})
+		}
+	}
+	res, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
 	var xCyc, bCyc []uint64
 	var hit []float64
-	for _, div := range divs {
-		opt := widxOpts(scale)
-		opt.Cfg = core.WidxConfig().Scaled(cacheDiv(scale) * div)
-		x, err := widx.RunXCache(w, opt)
-		if err != nil {
-			return nil, err
-		}
-		b, err := widx.RunBaseline(w, opt)
-		if err != nil {
-			return nil, err
-		}
+	for i := range divs {
+		x, b := res[2*i], res[2*i+1]
 		xCyc = append(xCyc, x.Cycles)
 		bCyc = append(bCyc, b.Cycles)
 		hit = append(hit, x.HitRate)
@@ -158,7 +158,7 @@ func Fig17(scale int) (*Out, error) {
 // Fig18 regenerates the #Active × #Exe design-space sweep for GraphPulse
 // (p2p-08) and Widx (TPC-H-22), runtimes normalized to the smallest
 // configuration of each DSA.
-func Fig18(scale int) (*Out, error) {
+func Fig18(r *runner.Runner, scale int) (*Out, error) {
 	t := stats.NewTable("Fig 18 — Sweeping #Active and #Exe (normalized runtime)",
 		"DSA", "#Active", "#Exe", "Runtime")
 	m := map[string]float64{}
@@ -166,18 +166,29 @@ func Fig18(scale int) (*Out, error) {
 	type point struct{ act, exe int }
 	points := []point{{8, 2}, {16, 4}, {32, 8}, {64, 16}}
 
-	// Widx TPC-H-22.
 	p := hashidx.TPCH()[2]
-	w := widx.DefaultWork(p, scale)
-	var widxCycles []uint64
+	var specs []runner.Spec
 	for _, pt := range points {
-		opt := widxOpts(scale)
-		opt.Cfg.NumActive, opt.Cfg.NumExe = pt.act, pt.exe
-		r, err := widx.RunXCache(w, opt)
-		if err != nil {
-			return nil, err
-		}
-		widxCycles = append(widxCycles, r.Cycles)
+		specs = append(specs, runner.Spec{
+			DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: p.Name,
+			Scale: scale, NumActive: pt.act, NumExe: pt.exe,
+		})
+	}
+	for _, pt := range points {
+		specs = append(specs, runner.Spec{
+			DSA: runner.DSAGraphPulse, Kind: dsa.KindXCache, Workload: "p2p-08",
+			Scale: scale, NumActive: pt.act, NumExe: pt.exe,
+		})
+	}
+	res, err := r.Run(specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Widx TPC-H-22.
+	var widxCycles []uint64
+	for i := range points {
+		widxCycles = append(widxCycles, res[i].Cycles)
 	}
 	for i, pt := range points {
 		t.Add("Widx", fmt.Sprintf("%d", pt.act), fmt.Sprintf("%d", pt.exe),
@@ -185,16 +196,9 @@ func Fig18(scale int) (*Out, error) {
 	}
 
 	// GraphPulse p2p-08.
-	gw := graphpulse.P2PGnutella08(scale)
 	var gpCycles []uint64
-	for _, pt := range points {
-		opt := gpOpts(scale)
-		opt.Cfg.NumActive, opt.Cfg.NumExe = pt.act, pt.exe
-		r, err := graphpulse.RunXCache(gw, opt)
-		if err != nil {
-			return nil, err
-		}
-		gpCycles = append(gpCycles, r.Cycles)
+	for i := range points {
+		gpCycles = append(gpCycles, res[len(points)+i].Cycles)
 	}
 	for i, pt := range points {
 		t.Add("GraphPulse", fmt.Sprintf("%d", pt.act), fmt.Sprintf("%d", pt.exe),

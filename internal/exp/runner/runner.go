@@ -1,0 +1,152 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"xcache/internal/dsa"
+)
+
+// Runner executes Specs across a pool of workers and memoises every
+// completed run in a content-addressed cache, so the same point
+// requested by several figures (the baseline config appears in Fig 4,
+// Fig 14 and Fig 15) simulates exactly once per process.
+//
+// Determinism contract: Run returns results in spec order, each result
+// a pure function of its Spec. Worker count and completion order affect
+// only wall time and Stats — never the returned values. Errors are
+// reported for the lowest-indexed failing spec, again independent of
+// scheduling.
+type Runner struct {
+	workers int
+
+	mu      sync.Mutex
+	cache   map[string]*entry
+	stats   Stats
+	running int // workers currently executing a simulation
+}
+
+// entry is one content-addressed cache slot. done closes when the
+// simulation finishes; until then other requesters for the same hash
+// block on it instead of launching a duplicate run.
+type entry struct {
+	done chan struct{}
+	res  dsa.Result
+	err  error
+}
+
+// New returns a Runner with the given worker count; workers <= 0 uses
+// GOMAXPROCS. New(1) gives serial execution with the same caching and
+// merge semantics.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: map[string]*entry{}}
+}
+
+// Workers returns the configured pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// One executes a single spec (through the cache).
+func (r *Runner) One(s Spec) (dsa.Result, error) {
+	return r.resolve(s)
+}
+
+// Run executes every spec, at most r.workers concurrently, and returns
+// the results in spec order. If any spec fails, the error of the
+// lowest-indexed failing spec is returned (the remaining specs still
+// run to completion so the cache stays warm for retries).
+func (r *Runner) Run(specs []Spec) ([]dsa.Result, error) {
+	n := len(specs)
+	results := make([]dsa.Result, n)
+	errs := make([]error, n)
+
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			results[i], errs[i] = r.resolve(s)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = r.resolve(specs[i])
+				}
+			}()
+		}
+		for i := range specs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", specs[i].Key(), err)
+		}
+	}
+	return results, nil
+}
+
+// resolve returns the result for s, executing it if no other request
+// has, or waiting on / reusing the cached run otherwise.
+func (r *Runner) resolve(s Spec) (dsa.Result, error) {
+	key := s.Hash()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.stats.Cached++
+		r.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	r.cache[key] = e
+	r.stats.Launched++
+	r.running++
+	if r.running > r.stats.PeakWorkers {
+		r.stats.PeakWorkers = r.running
+	}
+	r.mu.Unlock()
+
+	start := time.Now()
+	e.res, e.err = s.Execute()
+	wall := time.Since(start)
+	close(e.done)
+
+	r.mu.Lock()
+	r.running--
+	r.stats.Wall += wall
+	if e.err != nil {
+		r.stats.Failed++
+	} else {
+		r.stats.SimCycles += e.res.Cycles
+	}
+	r.stats.Runs = append(r.stats.Runs, RunStat{
+		Key:    s.Key(),
+		Cycles: e.res.Cycles,
+		Wall:   wall,
+	})
+	r.mu.Unlock()
+	return e.res, e.err
+}
+
+// Stats returns a snapshot of the runner's counters.
+func (r *Runner) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Runs = append([]RunStat(nil), r.stats.Runs...)
+	s.Workers = r.workers
+	return s
+}

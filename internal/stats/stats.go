@@ -82,6 +82,61 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Merge appends other's rows to t. The tables must share a header; the
+// row order is t's rows followed by other's, so merging partial tables
+// produced by concurrent workers in a fixed sequence is deterministic.
+func (t *Table) Merge(other *Table) error {
+	if len(other.Header) != len(t.Header) {
+		return fmt.Errorf("stats: merge header arity %d != %d", len(other.Header), len(t.Header))
+	}
+	for i, h := range other.Header {
+		if h != t.Header[i] {
+			return fmt.Errorf("stats: merge header mismatch at column %d: %q != %q", i, h, t.Header[i])
+		}
+	}
+	t.Rows = append(t.Rows, other.Rows...)
+	return nil
+}
+
+// Diff returns one human-readable line per difference between two
+// tables: title, header, row count, and per-cell mismatches, each
+// located by row and column. Identical tables yield nil.
+func Diff(got, want *Table) []string {
+	var d []string
+	if got.Title != want.Title {
+		d = append(d, fmt.Sprintf("title: got %q want %q", got.Title, want.Title))
+	}
+	if len(got.Header) != len(want.Header) {
+		d = append(d, fmt.Sprintf("header: got %d columns want %d", len(got.Header), len(want.Header)))
+	} else {
+		for i := range want.Header {
+			if got.Header[i] != want.Header[i] {
+				d = append(d, fmt.Sprintf("header col %d: got %q want %q", i, got.Header[i], want.Header[i]))
+			}
+		}
+	}
+	if len(got.Rows) != len(want.Rows) {
+		d = append(d, fmt.Sprintf("rows: got %d want %d", len(got.Rows), len(want.Rows)))
+	}
+	for r := 0; r < len(got.Rows) && r < len(want.Rows); r++ {
+		g, w := got.Rows[r], want.Rows[r]
+		if len(g) != len(w) {
+			d = append(d, fmt.Sprintf("row %d: got %d cells want %d", r, len(g), len(w)))
+			continue
+		}
+		for c := range w {
+			if g[c] != w[c] {
+				col := fmt.Sprintf("col %d", c)
+				if c < len(want.Header) {
+					col = fmt.Sprintf("col %d (%s)", c, want.Header[c])
+				}
+				d = append(d, fmt.Sprintf("row %d %s: got %q want %q", r, col, g[c], w[c]))
+			}
+		}
+	}
+	return d
+}
+
 // F2 formats a float with two decimals.
 func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
 

@@ -79,3 +79,49 @@ func TestHistogramZeroAndHuge(t *testing.T) {
 		t.Fatalf("extremes landed wrong: %v", h)
 	}
 }
+
+func TestTableMerge(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	a.Add("1", "2")
+	b := NewTable("other title ok", "A", "B")
+	b.Add("3", "4")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 2 || a.Rows[1][0] != "3" {
+		t.Fatalf("merged rows %v", a.Rows)
+	}
+	c := NewTable("t", "A", "C")
+	if err := a.Merge(c); err == nil {
+		t.Fatal("header mismatch not rejected")
+	}
+	d := NewTable("t", "A")
+	if err := a.Merge(d); err == nil {
+		t.Fatal("arity mismatch not rejected")
+	}
+}
+
+func TestTableDiff(t *testing.T) {
+	mk := func() *Table {
+		tb := NewTable("t", "A", "B")
+		tb.Add("1", "2")
+		tb.Add("3", "4")
+		return tb
+	}
+	if d := Diff(mk(), mk()); d != nil {
+		t.Fatalf("identical tables diff: %v", d)
+	}
+	got := mk()
+	got.Rows[1][1] = "9"
+	d := Diff(got, mk())
+	if len(d) != 1 || !strings.Contains(d[0], "row 1 col 1 (B)") || !strings.Contains(d[0], `got "9" want "4"`) {
+		t.Fatalf("cell diff: %v", d)
+	}
+	got = mk()
+	got.Title = "x"
+	got.Add("5", "6")
+	d = Diff(got, mk())
+	if len(d) != 2 {
+		t.Fatalf("title+rowcount diff: %v", d)
+	}
+}
