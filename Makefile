@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke bench ci
+.PHONY: verify vet fmt golden race faultsmoke soak bench ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -32,7 +32,14 @@ race: vet
 faultsmoke:
 	$(GO) test -run TestFaultSmoke ./internal/check
 
+# Fault-matrix soak: the widened injector matrix (every fault class ×
+# several seeds × three DSAs) driven through the resilient sweep engine
+# under the race detector. Plain `go test` runs the short matrix; this
+# target is the verify-tier full version. See internal/exp/runner/README.md.
+soak:
+	XCACHE_SOAK=full $(GO) test -race -run TestFaultMatrixSoak -count=1 -v ./internal/exp/runner
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
-ci: verify race faultsmoke
+ci: verify race faultsmoke soak

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	xcache-bench [-scale N] [-parallel N] [-v] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4,btree,ablation]
+//	             [-partial] [-checkpoint dir] [-retries N] [-backoff dur] [-spec-wall dur]
 //
 // scale divides the published workload sizes (and cache capacities with
 // them); -scale 1 runs the paper-scale configuration and takes several
@@ -11,15 +12,31 @@
 // GOMAXPROCS); output is byte-identical for every worker count. -v
 // prints the runner statistics (runs launched/cached/failed, per-run
 // cycles and wall time, peak workers) on stderr.
+//
+// Resilience:
+//
+//	-checkpoint dir   journal completed runs to dir and resume from it;
+//	                  an interrupted invocation re-run with the same flags
+//	                  produces byte-identical output to an uninterrupted one
+//	-retries N        retry transiently failing runs up to N times
+//	-backoff dur      base backoff before a retry (doubles per attempt)
+//	-spec-wall dur    per-run wall deadline; a runaway run becomes a typed
+//	                  error instead of hanging the pool
+//	-partial          don't abort on a failed cell: annotate it in the
+//	                  affected tables/notes, keep going, and report the
+//	                  failure summary on stderr (exit code stays 0 — the
+//	                  degradation is explicit in the output)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"xcache/internal/exp"
 	"xcache/internal/exp/runner"
@@ -30,6 +47,11 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-engine workers (results are identical for any value)")
 	verbose := flag.Bool("v", false, "print runner statistics (launched/cached/failed, per-run wall time)")
 	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, btree, ablation) or 'all'")
+	partial := flag.Bool("partial", false, "annotate failed cells instead of aborting the run")
+	checkpoint := flag.String("checkpoint", "", "journal completed runs to this directory and resume from it")
+	retries := flag.Int("retries", 0, "retry transiently failing runs up to N times (deterministic backoff)")
+	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt)")
+	specWall := flag.Duration("spec-wall", 0, "per-run wall deadline (0 = none)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -43,12 +65,37 @@ func main() {
 	// One runner for the whole invocation: points shared between figures
 	// (the sweep baselines reappear in Fig 7/17 and the ablations) are
 	// simulated once and served from the content-addressed run cache.
-	run := runner.New(*parallel)
+	run, err := runner.NewFrom(runner.Config{
+		Workers:       *parallel,
+		Retry:         runner.Retry{Max: *retries, Backoff: *backoff},
+		CheckpointDir: *checkpoint,
+		SpecWall:      *specWall,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xcache-bench:", err)
+		os.Exit(1)
+	}
 
 	var outs []*exp.Out
+	var degraded []string
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "xcache-bench:", err)
 		os.Exit(1)
+	}
+	// tolerate runs a figure generator under the -partial policy: a
+	// failure degrades to a stderr note and a summary line instead of
+	// aborting the whole evaluation.
+	tolerate := func(id string, f func() (*exp.Out, error)) {
+		o, err := f()
+		if err == nil {
+			outs = append(outs, o)
+			return
+		}
+		if !*partial {
+			fail(err)
+		}
+		degraded = append(degraded, fmt.Sprintf("fig %s: %v", id, err))
+		fmt.Fprintf(os.Stderr, "xcache-bench: fig %s degraded: %v\n", id, err)
 	}
 
 	if sel("t1") {
@@ -69,20 +116,23 @@ func main() {
 	if needSweep {
 		fmt.Fprintf(os.Stderr, "running full DSA sweep at scale %d (%d workers)...\n", *scale, run.Workers())
 		var err error
-		sw, err = exp.RunSweep(run, *scale)
+		if *partial {
+			sw, err = exp.RunSweepPartial(context.Background(), run, *scale)
+		} else {
+			sw, err = exp.RunSweep(run, *scale)
+		}
 		if err != nil {
 			fail(err)
+		}
+		for _, n := range sw.FailureNotes() {
+			degraded = append(degraded, "sweep: "+n)
 		}
 	}
 	if sel("4") {
 		outs = append(outs, exp.Fig4(sw))
 	}
 	if sel("7") {
-		o, err := exp.Fig7(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
+		tolerate("7", func() (*exp.Out, error) { return exp.Fig7(run, *scale) })
 	}
 	if sel("14") {
 		outs = append(outs, exp.Fig14(sw))
@@ -94,18 +144,10 @@ func main() {
 		outs = append(outs, exp.Fig16(sw))
 	}
 	if sel("17") {
-		o, err := exp.Fig17(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
+		tolerate("17", func() (*exp.Out, error) { return exp.Fig17(run, *scale) })
 	}
 	if sel("18") {
-		o, err := exp.Fig18(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
+		tolerate("18", func() (*exp.Out, error) { return exp.Fig18(run, *scale) })
 	}
 	if sel("19") {
 		outs = append(outs, exp.Fig19())
@@ -114,23 +156,11 @@ func main() {
 		outs = append(outs, exp.Fig20())
 	}
 	if sel("btree") {
-		o, err := exp.ExtensionBTree(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
+		tolerate("btree", func() (*exp.Out, error) { return exp.ExtensionBTree(run, *scale) })
 	}
 	if sel("ablation") {
-		o, err := exp.AblationProgrammability(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
-		o, err = exp.AblationDesignChoices(run, *scale)
-		if err != nil {
-			fail(err)
-		}
-		outs = append(outs, o)
+		tolerate("ablation-prog", func() (*exp.Out, error) { return exp.AblationProgrammability(run, *scale) })
+		tolerate("ablation-design", func() (*exp.Out, error) { return exp.AblationDesignChoices(run, *scale) })
 	}
 
 	for _, o := range outs {
@@ -149,6 +179,13 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if len(degraded) > 0 {
+		fmt.Fprintf(os.Stderr, "xcache-bench: partial results — %d cell(s)/figure(s) failed:\n", len(degraded))
+		for _, d := range degraded {
+			fmt.Fprintln(os.Stderr, "  "+d)
+		}
 	}
 
 	if *verbose {

@@ -15,11 +15,21 @@
 //	xcache-sim -dsa widx -check -watchdog 20000  # custom stall window
 //
 // A fault run is exactly reproducible from its seed; on a wedge or
-// invariant violation the process exits with a stall report naming every
-// queue's occupancy and each component's in-flight state.
+// invariant violation the process emits a structured JSON failure record
+// on stderr — kind, cycle, stuck queues, and the full stall report —
+// and exits with a kind-specific code so sweep drivers can triage
+// without parsing prose:
+//
+//	0  success
+//	1  usage / configuration error
+//	2  stall (watchdog: no forward progress)
+//	3  invariant violation (including recovered queue overflow)
+//	4  cycle budget exhausted
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -63,8 +73,7 @@ func main() {
 
 	r, err := run(*name, *kind, *query, *scale, cc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xcache-sim:", err)
-		os.Exit(1)
+		exit(err)
 	}
 	fmt.Println(r.String())
 	fmt.Printf("  cycles           %d\n", r.Cycles)
@@ -78,6 +87,47 @@ func main() {
 		fmt.Printf("  faults           %d fills dropped, %d retries, %d parity scrubs (seed %d)\n",
 			r.DroppedFills, r.FillRetries, r.ParityScrubs, *seed)
 	}
+}
+
+// simFailure is the machine-readable failure record emitted on stderr.
+type simFailure struct {
+	Error       string             `json:"error"`
+	Kind        string             `json:"kind"` // stall | invariant | overflow | budget | usage
+	Cycle       int64              `json:"cycle,omitempty"`
+	StallCycles int64              `json:"stall_cycles,omitempty"`
+	StuckQueues []string           `json:"stuck_queues,omitempty"`
+	Report      *check.StallReport `json:"report,omitempty"`
+}
+
+// exit classifies err through the check taxonomy, emits the structured
+// JSON record on stderr, and terminates with the kind's exit code.
+func exit(err error) {
+	f := simFailure{Error: err.Error(), Kind: "usage"}
+	code := 1
+	var cf *check.Failure
+	if errors.As(err, &cf) {
+		f.Kind = cf.Kind.String()
+		switch cf.Kind {
+		case check.FailStall:
+			code = 2
+		case check.FailInvariant, check.FailOverflow:
+			code = 3
+		case check.FailBudget:
+			code = 4
+		}
+		if rep := cf.Report; rep != nil {
+			f.Cycle = int64(rep.Cycle)
+			f.StallCycles = int64(rep.StallCycles)
+			f.StuckQueues = rep.StuckQueues()
+			f.Report = rep
+		}
+	}
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	if encErr := enc.Encode(f); encErr != nil {
+		fmt.Fprintln(os.Stderr, "xcache-sim:", err)
+	}
+	os.Exit(code)
 }
 
 func run(name, kind, query string, scale int, cc *check.Config) (dsa.Result, error) {

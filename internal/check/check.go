@@ -214,27 +214,27 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 	for i := 0; i < max; i++ {
 		if done() {
 			if err := h.Err(); err != nil {
-				return false, h.report(fmt.Sprintf("invariant violated: %v", err))
+				return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
 			}
 			return true, nil
 		}
 		if err := h.step(); err != nil {
-			return false, h.report(fmt.Sprintf("queue overflow: %v", err))
+			return false, h.report(FailOverflow, fmt.Sprintf("queue overflow: %v", err))
 		}
 		if err := h.Err(); err != nil {
-			return false, h.report(fmt.Sprintf("invariant violated: %v", err))
+			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
 		}
 		if h.wd != nil && h.wd.stalled(h.k.Cycle()) {
-			return false, h.report(fmt.Sprintf("no forward progress for %d cycles", h.Cfg.Watchdog))
+			return false, h.report(FailStall, fmt.Sprintf("no forward progress for %d cycles", h.Cfg.Watchdog))
 		}
 	}
 	if done() {
 		if err := h.Err(); err != nil {
-			return false, h.report(fmt.Sprintf("invariant violated: %v", err))
+			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
 		}
 		return true, nil
 	}
-	return false, h.report(fmt.Sprintf("cycle budget (%d) exhausted", max))
+	return false, h.report(FailBudget, fmt.Sprintf("cycle budget (%d) exhausted", max))
 }
 
 // step advances the kernel one cycle, recovering a queue-overflow panic
@@ -255,8 +255,8 @@ func (h *Harness) step() (err error) {
 }
 
 // report assembles a StallReport from the kernel's current state.
-func (h *Harness) report(reason string) *StallReport {
-	r := &StallReport{Cycle: h.k.Cycle(), Reason: reason}
+func (h *Harness) report(kind FailureKind, reason string) *StallReport {
+	r := &StallReport{Kind: kind, Cycle: h.k.Cycle(), Reason: reason}
 	if h.wd != nil {
 		r.StallCycles = h.wd.stallFor(h.k.Cycle())
 	}

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -101,15 +102,78 @@ type ComponentState struct {
 	Detail []string
 }
 
+// FailureKind classifies why a supervised run aborted. It is the root
+// of the structured error taxonomy consumed by internal/exp/runner (which
+// folds it into transient-vs-permanent retry classes) and by
+// cmd/xcache-sim's exit codes.
+type FailureKind int
+
+// The four supervised abort causes.
+const (
+	FailStall     FailureKind = iota + 1 // watchdog: no forward progress for a full window
+	FailInvariant                        // per-cycle invariant checker violation
+	FailOverflow                         // recovered queue-overflow (MustPush) panic
+	FailBudget                           // cycle budget exhausted while still making progress
+)
+
+// MarshalJSON renders the kind by name, so a serialized StallReport is
+// self-describing.
+func (k FailureKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// String names the kind for logs and JSON output.
+func (k FailureKind) String() string {
+	switch k {
+	case FailStall:
+		return "stall"
+	case FailInvariant:
+		return "invariant"
+	case FailOverflow:
+		return "overflow"
+	case FailBudget:
+		return "budget"
+	}
+	return fmt.Sprintf("failure(%d)", int(k))
+}
+
+// Failure is the typed error a supervised run aborts with: the kind plus
+// the full StallReport (nil only for an unsupervised budget exhaustion,
+// where no harness was attached to collect one).
+type Failure struct {
+	Kind   FailureKind
+	Report *StallReport
+}
+
+// Error renders the full report so existing log output keeps its
+// diagnostic tables.
+func (f *Failure) Error() string {
+	if f.Report != nil {
+		return f.Report.String()
+	}
+	return fmt.Sprintf("%s: cycle budget exhausted (unsupervised run)", f.Kind)
+}
+
 // StallReport is the structured post-mortem produced when a supervised
 // run fails: watchdog stall, invariant violation, queue overflow, or
 // cycle-budget exhaustion.
 type StallReport struct {
+	Kind        FailureKind
 	Cycle       sim.Cycle
 	Reason      string
 	StallCycles sim.Cycle // cycles since the last observed forward progress
 	Queues      []QueueState
 	Components  []ComponentState
+}
+
+// Failure wraps the report as a typed error. It is nil-safe: a nil
+// report (unsupervised run that never reached done within its budget)
+// yields a bare budget failure, so call sites can wrap unconditionally.
+func (r *StallReport) Failure() *Failure {
+	if r == nil {
+		return &Failure{Kind: FailBudget}
+	}
+	return &Failure{Kind: r.Kind, Report: r}
 }
 
 // StuckQueues returns the names of queues flagged Stuck, the usual

@@ -233,7 +233,7 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	k.Add(pump)
 	h := check.Attach(k, opt.Check)
 	if ok, rep := check.Run(h, k, func() bool { return done == len(trace) }, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("btree xcache: aborted at %d/%d%s", done, len(trace), rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("btree xcache: aborted at %d/%d: %w", done, len(trace), rep.Failure())
 	}
 	cst := xc.Ctrl.Stats()
 	return dsa.Result{

@@ -203,7 +203,7 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 	sys.K.Add(dp)
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("dasx xcache: aborted at %d/%d%s", dp.done, len(trace), rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("dasx xcache: aborted at %d/%d: %w", dp.done, len(trace), rep.Failure())
 	}
 	st := sys.Snapshot()
 	return dsa.Result{

@@ -416,7 +416,7 @@ func run(w Work, opt Options, hardwired bool) (dsa.Result, error) {
 
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("graphpulse: aborted in superstep %d%s", e.ss, rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("graphpulse: aborted in superstep %d: %w", e.ss, rep.Failure())
 	}
 
 	ref, _ := graph.DeltaPageRank(g, graph.PageRankParams{Damping: opt.Damping, Eps: w.Eps, MaxIter: w.MaxSS})
@@ -663,7 +663,7 @@ func RunSSSP(w Work, opt Options, src int) (dsa.Result, error) {
 	sys.K.Add(e)
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("graphpulse sssp: aborted in superstep %d%s", e.ss, rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("graphpulse sssp: aborted in superstep %d: %w", e.ss, rep.Failure())
 	}
 
 	ref := graph.BFS(g, src)

@@ -394,7 +394,7 @@ func runX(alg Algorithm, w Work, opt Options, hardwired bool) (dsa.Result, error
 
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, dp.finished, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("%s xcache: aborted at %d/%d rows%s", alg, dp.done, len(sched), rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("%s xcache: aborted at %d/%d rows: %w", alg, dp.done, len(sched), rep.Failure())
 	}
 	st := sys.Snapshot()
 	kind := dsa.KindXCache

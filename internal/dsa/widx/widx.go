@@ -207,7 +207,7 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
-		return dsa.Result{}, fmt.Errorf("widx xcache: aborted at %d/%d probes%s", dp.done, len(trace), rep.Suffix())
+		return dsa.Result{}, fmt.Errorf("widx xcache: aborted at %d/%d probes: %w", dp.done, len(trace), rep.Failure())
 	}
 	st := sys.Snapshot()
 	return dsa.Result{

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,10 +30,36 @@ type Out struct {
 }
 
 // Sweep holds the full DSA × workload × storage-idiom result matrix that
-// Figs 14/15/16 are cut from.
+// Figs 14/15/16 are cut from. Failed is empty on a clean strict run;
+// under RunSweepPartial it carries every cell that could not be
+// simulated, so the figures annotate failures instead of aborting.
 type Sweep struct {
 	Scale   int
 	Results []dsa.Result
+	Failed  []FailedCell `json:",omitempty"`
+}
+
+// FailedCell is one sweep point that produced no result: the cell's
+// identity plus the runner's taxonomy classification (Fail/Class from
+// runner.RunError, or "validation"/"permanent" when the simulation
+// completed but did not match its reference model).
+type FailedCell struct {
+	DSA      string
+	Workload string
+	Kind     dsa.Kind
+	Fail     string // taxonomy kind: stall, invariant, panic, deadline, validation, ...
+	Class    string // transient | permanent
+	Err      string
+}
+
+// FailureNotes renders one line per failed cell, for Out.Notes and the
+// xcache-bench -partial summary.
+func (s *Sweep) FailureNotes() []string {
+	var notes []string
+	for _, f := range s.Failed {
+		notes = append(notes, fmt.Sprintf("FAILED %s/%s[%s]: %s (%s)", f.DSA, f.Workload, f.Kind, f.Fail, f.Class))
+	}
+	return notes
 }
 
 // Get returns the result for (dsaName, workload, kind), or false.
@@ -116,6 +143,42 @@ func RunSweep(r *runner.Runner, scale int) (*Sweep, error) {
 			return nil, fmt.Errorf("exp: %s/%s[%s] failed functional validation", res.DSA, res.Workload, res.Kind)
 		}
 		sw.Results = append(sw.Results, res)
+	}
+	return sw, nil
+}
+
+// RunSweepPartial is the graceful-degradation sweep: every cell runs to
+// a terminal outcome and failures — classified runner errors or
+// functional-validation mismatches — are recorded in Sweep.Failed
+// instead of aborting the batch. Successful cells keep the strict
+// sweep's order and values (a clean partial sweep is byte-identical to
+// RunSweep's). It errors only when not a single cell survived.
+func RunSweepPartial(ctx context.Context, r *runner.Runner, scale int) (*Sweep, error) {
+	specs := SweepSpecs(scale)
+	outs := r.RunAll(ctx, specs)
+	sw := &Sweep{Scale: scale}
+	for i, o := range outs {
+		s := specs[i]
+		switch {
+		case o.Err != nil:
+			sw.Failed = append(sw.Failed, FailedCell{
+				DSA: s.DSA, Workload: s.Workload, Kind: s.Kind,
+				Fail: o.Err.Kind.String(), Class: o.Err.Class.String(), Err: o.Err.Error(),
+			})
+		case !o.Res.Checked:
+			sw.Failed = append(sw.Failed, FailedCell{
+				DSA: s.DSA, Workload: s.Workload, Kind: s.Kind,
+				Fail: "validation", Class: "permanent",
+				Err: "functional output did not match the reference model",
+			})
+		default:
+			sw.Results = append(sw.Results, o.Res)
+		}
+	}
+	if len(sw.Results) == 0 && len(sw.Failed) > 0 {
+		f := sw.Failed[0]
+		return nil, fmt.Errorf("exp: all %d sweep cells failed (first: %s/%s[%s]: %s)",
+			len(sw.Failed), f.DSA, f.Workload, f.Kind, f.Fail)
 	}
 	return sw, nil
 }

@@ -31,8 +31,9 @@ func Fig4(sw *Sweep) *Out {
 			stats.F1(a.AvgLoadToUse), stats.F2(imp)+"x")
 	}
 	m["l2u_improvement_geomean"] = geomean(ratios)
-	return &Out{ID: "fig4", Table: t, Metrics: m,
-		Notes: []string{"Paper: meta-tags notably improve load-to-use; Widx hits are ~10x lower than the hashing+walking path."}}
+	notes := []string{"Paper: meta-tags notably improve load-to-use; Widx hits are ~10x lower than the hashing+walking path."}
+	notes = append(notes, sw.FailureNotes()...)
+	return &Out{ID: "fig4", Table: t, Metrics: m, Notes: notes}
 }
 
 // Fig7 regenerates the occupancy comparison (coroutines vs threads) as
@@ -103,13 +104,20 @@ func Fig14(sw *Sweep) *Out {
 		}
 		t.Add(row...)
 	}
+	// Partial sweeps annotate every failed cell in the table itself, so
+	// a degraded run is visibly degraded rather than silently smaller.
+	for _, f := range sw.Failed {
+		t.Add(f.DSA, fmt.Sprintf("%s[%s]", f.Workload, f.Kind),
+			"FAILED: "+f.Fail, "-", "-", "-", "-")
+	}
 	m["speedup_vs_addr_geomean"] = geomean(vsAddr)
 	m["speedup_vs_baseline_geomean"] = geomean(vsBase)
 	m["mem_reduction_geomean"] = geomean(memRed)
-	return &Out{ID: "fig14", Table: t, Metrics: m,
-		Notes: []string{
-			"Paper: 1.7x average over address-based caches; up to 1.54x over Widx; memory accesses reduced 2-8x.",
-		}}
+	notes := []string{
+		"Paper: 1.7x average over address-based caches; up to 1.54x over Widx; memory accesses reduced 2-8x.",
+	}
+	notes = append(notes, sw.FailureNotes()...)
+	return &Out{ID: "fig14", Table: t, Metrics: m, Notes: notes}
 }
 
 // Fig17 regenerates "X-Cache runtime vs Widx" for TPC-H-22 across the

@@ -25,6 +25,11 @@ func Fig15(sw *Sweep) *Out {
 		t.Add(x.DSA, x.Workload, stats.F2(px), stats.F2(pa), stats.Pct(po), stats.Pct(eo))
 	}
 	minmax := func(v []float64) (float64, float64) {
+		if len(v) == 0 {
+			// A fully degraded partial sweep has no surviving pair; 0s
+			// keep the metrics JSON-marshalable.
+			return 0, 0
+		}
 		lo, hi := v[0], v[0]
 		for _, x := range v {
 			if x < lo {
@@ -38,11 +43,12 @@ func Fig15(sw *Sweep) *Out {
 	}
 	m["addr_overhead_min"], m["addr_overhead_max"] = minmax(pow)
 	m["addr_energy_overhead_min"], m["addr_energy_overhead_max"] = minmax(en)
-	return &Out{ID: "fig15", Table: t, Metrics: m,
-		Notes: []string{
-			"Paper: address-based caches consume 26-79% more power than X-Cache.",
-			"Where X-Cache finishes much faster, its power (energy/time) can exceed the slower address cache's; the energy overhead column is time-independent and is positive for every workload.",
-		}}
+	notes := []string{
+		"Paper: address-based caches consume 26-79% more power than X-Cache.",
+		"Where X-Cache finishes much faster, its power (energy/time) can exceed the slower address cache's; the energy overhead column is time-independent and is positive for every workload.",
+	}
+	notes = append(notes, sw.FailureNotes()...)
+	return &Out{ID: "fig15", Table: t, Metrics: m, Notes: notes}
 }
 
 // Fig16 regenerates the X-Cache power breakdown: data RAM dominant, tags
@@ -79,9 +85,14 @@ func Fig16(sw *Sweep) *Out {
 	m["tag_share_max"] = tagMax
 	m["routine_ram_share_max"] = rtnMax
 	m["data_share_min"] = dataMin
-	m["controller_share_avg"] = ctrlSum / n
-	return &Out{ID: "fig16", Table: t, Metrics: m,
-		Notes: []string{
-			"Paper: 66-89% of energy on data; tags 1.5-6.6%; routine RAM <4.2%; controller ≈24%.",
-		}}
+	if n > 0 {
+		m["controller_share_avg"] = ctrlSum / n
+	} else {
+		m["controller_share_avg"] = 0
+	}
+	notes := []string{
+		"Paper: 66-89% of energy on data; tags 1.5-6.6%; routine RAM <4.2%; controller ≈24%.",
+	}
+	notes = append(notes, sw.FailureNotes()...)
+	return &Out{ID: "fig16", Table: t, Metrics: m, Notes: notes}
 }

@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xcache/internal/dsa"
+)
+
+// Checkpoint is the crash-safe on-disk journal of completed runs: one
+// JSON file per spec, named by the spec's content hash, written
+// atomically (temp file + rename). Because a result is a pure function
+// of its spec, loading a checkpointed result is indistinguishable from
+// re-executing it — which is why a sweep killed mid-run and resumed from
+// the same directory produces byte-identical merged output to an
+// uninterrupted run. Failed runs are never journaled.
+type Checkpoint struct {
+	dir string
+}
+
+// ckptFile is the on-disk record. Key is stored alongside the result so
+// a load can verify the file really belongs to the requesting spec (a
+// format change or hand-edited file is ignored, not trusted).
+type ckptFile struct {
+	Key    string
+	Result dsa.Result
+}
+
+// OpenCheckpoint opens (creating if needed) a checkpoint directory.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runner: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: checkpoint dir: %w", err)
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Dir returns the journal directory.
+func (c *Checkpoint) Dir() string { return c.dir }
+
+func (c *Checkpoint) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// load returns the journaled result for s, if a valid record exists. A
+// missing, unreadable, corrupt, or key-mismatched file is treated as a
+// cache miss — resume must degrade to re-execution, never to an abort.
+func (c *Checkpoint) load(s Spec) (dsa.Result, bool) {
+	if c == nil {
+		return dsa.Result{}, false
+	}
+	b, err := os.ReadFile(c.path(s.Hash()))
+	if err != nil {
+		return dsa.Result{}, false
+	}
+	var f ckptFile
+	if err := json.Unmarshal(b, &f); err != nil || f.Key != s.Key() {
+		return dsa.Result{}, false
+	}
+	return f.Result, true
+}
+
+// save journals a completed result atomically: written to a temp file in
+// the same directory, synced, then renamed over the final name, so a
+// crash mid-write leaves either the old state or the new — never a torn
+// record.
+func (c *Checkpoint) save(s Spec, r dsa.Result) error {
+	if c == nil {
+		return nil
+	}
+	b, err := json.MarshalIndent(ckptFile{Key: s.Key(), Result: r}, "", "  ")
+	if err != nil {
+		return err
+	}
+	hash := s.Hash()
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(hash))
+}

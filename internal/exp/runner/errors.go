@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"xcache/internal/check"
+)
+
+// Class splits the failure taxonomy into the two retry policies: a
+// transient failure may succeed on re-execution (host-dependent causes —
+// wall-deadline overruns, recovered panics — or injected-fault wedges the
+// soak suite deliberately provokes), a permanent one is a pure function
+// of the spec and will fail identically forever (malformed spec,
+// deterministic invariant violation).
+type Class int
+
+// The two retry classes.
+const (
+	Permanent Class = iota
+	Transient
+)
+
+// String names the class for logs and JSON output.
+func (c Class) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// FailKind is the runner-level failure taxonomy. The first four lift
+// check.FailureKind out of a supervised simulation; the rest are failure
+// modes of the sweep engine itself.
+type FailKind int
+
+// Every way a spec can fail.
+const (
+	FailUnknown   FailKind = iota
+	FailStall              // watchdog: no forward progress (check.FailStall)
+	FailInvariant          // invariant checker violation (check.FailInvariant)
+	FailOverflow           // recovered queue-overflow panic (check.FailOverflow)
+	FailBudget             // simulation cycle budget exhausted (check.FailBudget)
+	FailPanic              // per-worker panic recovered by the pool
+	FailDeadline           // per-spec wall deadline exceeded
+	FailCanceled           // context canceled before/while the spec ran
+	FailSpec               // malformed spec: unknown DSA, workload, or kind
+)
+
+// String names the kind for logs, stats and JSON output.
+func (k FailKind) String() string {
+	switch k {
+	case FailStall:
+		return "stall"
+	case FailInvariant:
+		return "invariant"
+	case FailOverflow:
+		return "overflow"
+	case FailBudget:
+		return "budget"
+	case FailPanic:
+		return "panic"
+	case FailDeadline:
+		return "deadline"
+	case FailCanceled:
+		return "canceled"
+	case FailSpec:
+		return "spec"
+	}
+	return fmt.Sprintf("unknown(%d)", int(k))
+}
+
+// RunError is the structured error every failing spec resolves to: the
+// spec's canonical key, the taxonomy kind and retry class, how many
+// executions were attempted (attempts > 1 means transient retries were
+// consumed), the StallReport when the simulation aborted under
+// supervision, and the underlying cause.
+type RunError struct {
+	Key      string
+	Kind     FailKind
+	Class    Class
+	Attempts int
+	Report   *check.StallReport // non-nil for supervised aborts
+	Err      error
+}
+
+// Error renders kind/class/attempts plus the cause; the spec key is left
+// to the caller (Runner.Run already prefixes it).
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s (%s, %d attempt(s)): %v", e.Kind, e.Class, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// Transient reports whether the bounded-retry policy applies.
+func (e *RunError) Transient() bool { return e.Class == Transient }
+
+// panicError is a recovered per-worker panic, isolated so one bad spec
+// cannot take down the whole sweep.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v\n%s", p.val, p.stack)
+}
+
+// deadlineError marks a spec that overran its per-spec wall deadline.
+// The simulation goroutine keeps running detached (a cycle-level kernel
+// cannot be preempted) but the worker slot is released, so a runaway run
+// degrades to a typed error instead of hanging the pool.
+type deadlineError struct {
+	limit time.Duration
+}
+
+func (d *deadlineError) Error() string {
+	return fmt.Sprintf("spec wall deadline (%s) exceeded; simulation abandoned", d.limit)
+}
+
+// classify folds an execution error into the taxonomy.
+//
+// Supervised aborts keep their check kind. They are transient when the
+// spec injects faults — the wedge is provoked (an injected-fault fill
+// timeout surfaces as a stall or a fill-retry-exhaustion invariant), so
+// it gets the bounded-retry treatment and must never poison the memo
+// table — and permanent otherwise: the simulator is deterministic, so an
+// unprovoked stall, invariant violation, overflow or budget exhaustion
+// is a kernel bug that reproduces identically on every retry. Deadlines
+// and recovered panics are transient — both can be host-dependent.
+// Cancellation and malformed specs are permanent (never retried), but
+// every failure is evicted, so a resumed sweep re-executes them.
+func classify(s Spec, err error, attempts int) *RunError {
+	re := &RunError{Key: s.Key(), Attempts: attempts, Err: err, Class: Permanent}
+
+	var cf *check.Failure
+	switch {
+	case errors.As(err, &cf):
+		re.Report = cf.Report
+		switch cf.Kind {
+		case check.FailStall:
+			re.Kind = FailStall
+		case check.FailInvariant:
+			re.Kind = FailInvariant
+		case check.FailOverflow:
+			re.Kind = FailOverflow
+		case check.FailBudget:
+			re.Kind = FailBudget
+		}
+		if s.Faults.Any() {
+			re.Class = Transient
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		re.Kind = FailCanceled
+	default:
+		var pe *panicError
+		var de *deadlineError
+		switch {
+		case errors.As(err, &pe):
+			re.Kind = FailPanic
+			re.Class = Transient
+		case errors.As(err, &de):
+			re.Kind = FailDeadline
+			re.Class = Transient
+		default:
+			re.Kind = FailSpec
+		}
+	}
+	return re
+}
+
+// Retry bounds the deterministic backoff policy for transient failures.
+type Retry struct {
+	// Max is the number of additional attempts after the first (0
+	// disables retry). Only transient failures consume attempts.
+	Max int
+	// Backoff is the sleep before the first retry; attempt k sleeps
+	// Backoff << (k-1), capped at 30s. Backoff affects wall time only —
+	// results are a pure function of the spec — so any value preserves
+	// the determinism contract. 0 retries immediately.
+	Backoff time.Duration
+}
+
+// delay returns the deterministic backoff before retry attempt k (1-based).
+func (r Retry) delay(k int) time.Duration {
+	if r.Backoff <= 0 {
+		return 0
+	}
+	const cap = 30 * time.Second
+	d := r.Backoff
+	for i := 1; i < k; i++ {
+		d <<= 1
+		if d >= cap {
+			return cap
+		}
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}

@@ -1,0 +1,609 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"xcache/internal/check"
+	"xcache/internal/dsa"
+)
+
+// fakeResult fabricates a plausible successful result for seam-scripted
+// executions, keyed so different specs stay distinguishable.
+func fakeResult(s Spec, cycles uint64) dsa.Result {
+	return dsa.Result{DSA: s.DSA, Workload: s.Workload, Kind: s.Kind, Cycles: cycles, Checked: true}
+}
+
+// faultedSpec is a spec whose injector is armed, so supervised aborts
+// classify as transient.
+func faultedSpec() Spec {
+	s := tinySpec()
+	s.Check = true
+	s.Seed = 1
+	s.Faults = check.FaultConfig{DropResp: 2e-2}
+	return s
+}
+
+func stallFailure() error {
+	rep := &check.StallReport{Kind: check.FailStall, Cycle: 1234, Reason: "no forward progress (test)"}
+	return fmt.Errorf("scripted wedge: %w", rep.Failure())
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	faulted, clean := faultedSpec(), tinySpec()
+	rep := func(k check.FailureKind) error {
+		r := &check.StallReport{Kind: k, Cycle: 7}
+		return fmt.Errorf("wrapped: %w", r.Failure())
+	}
+	cases := []struct {
+		name  string
+		spec  Spec
+		err   error
+		kind  FailKind
+		class Class
+	}{
+		{"faulted stall", faulted, rep(check.FailStall), FailStall, Transient},
+		{"faulted budget", faulted, rep(check.FailBudget), FailBudget, Transient},
+		{"faulted invariant", faulted, rep(check.FailInvariant), FailInvariant, Transient},
+		{"faulted overflow", faulted, rep(check.FailOverflow), FailOverflow, Transient},
+		{"clean stall", clean, rep(check.FailStall), FailStall, Permanent},
+		{"clean invariant", clean, rep(check.FailInvariant), FailInvariant, Permanent},
+		{"clean budget", clean, rep(check.FailBudget), FailBudget, Permanent},
+		{"canceled", clean, context.Canceled, FailCanceled, Permanent},
+		{"ctx deadline", clean, context.DeadlineExceeded, FailCanceled, Permanent},
+		{"panic", clean, &panicError{val: "boom"}, FailPanic, Transient},
+		{"wall deadline", clean, &deadlineError{limit: time.Second}, FailDeadline, Transient},
+		{"malformed spec", clean, errors.New("unknown DSA"), FailSpec, Permanent},
+	}
+	for _, c := range cases {
+		re := classify(c.spec, c.err, 3)
+		if re.Kind != c.kind || re.Class != c.class {
+			t.Errorf("%s: classified %s/%s, want %s/%s", c.name, re.Kind, re.Class, c.kind, c.class)
+		}
+		if re.Attempts != 3 || re.Key != c.spec.Key() {
+			t.Errorf("%s: attempts/key not threaded: %+v", c.name, re)
+		}
+		if !errors.Is(re, c.err) && re.Err != c.err {
+			t.Errorf("%s: cause not unwrappable", c.name)
+		}
+	}
+	// Supervised aborts carry their report through to the RunError.
+	re := classify(faulted, rep(check.FailStall), 1)
+	if re.Report == nil || re.Report.Cycle != 7 {
+		t.Errorf("stall report not attached: %+v", re.Report)
+	}
+}
+
+func TestRetryDelayDeterministic(t *testing.T) {
+	r := Retry{Max: 10, Backoff: 100 * time.Millisecond}
+	want := []time.Duration{100, 200, 400, 800, 1600}
+	for i, w := range want {
+		if d := r.delay(i + 1); d != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i+1, d, w*time.Millisecond)
+		}
+	}
+	if d := (Retry{Max: 99, Backoff: time.Second}).delay(40); d != 30*time.Second {
+		t.Errorf("uncapped backoff: %v", d)
+	}
+	if d := (Retry{Max: 3}).delay(2); d != 0 {
+		t.Errorf("zero backoff should retry immediately, got %v", d)
+	}
+}
+
+func TestTransientFailureRetriedToSuccess(t *testing.T) {
+	r, err := NewFrom(Config{Workers: 1, Retry: Retry{Max: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r.exec = func(s Spec) (dsa.Result, error) {
+		calls++
+		if calls <= 2 {
+			return dsa.Result{}, stallFailure()
+		}
+		return fakeResult(s, 100), nil
+	}
+	res, err := r.One(faultedSpec())
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if calls != 3 || res.Cycles != 100 {
+		t.Fatalf("calls=%d res=%+v", calls, res)
+	}
+	st := r.Stats()
+	if st.Launched != 1 || st.Retried != 2 || st.Failed != 0 || st.Evicted != 0 {
+		t.Fatalf("stats %+v, want 1 launched / 2 retried / 0 failed", st)
+	}
+	if len(st.Runs) != 3 {
+		t.Fatalf("%d attempt records, want 3 (one per execution)", len(st.Runs))
+	}
+	if st.Runs[0].Err != "stall" || st.Runs[1].Err != "stall" || st.Runs[2].Err != "" {
+		t.Fatalf("attempt annotations wrong: %+v", st.Runs)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	r, err := NewFrom(Config{Workers: 1, Retry: Retry{Max: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r.exec = func(Spec) (dsa.Result, error) {
+		calls++
+		return dsa.Result{}, stallFailure()
+	}
+	_, err = r.One(faultedSpec())
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is not a *RunError: %v", err)
+	}
+	if calls != 3 { // 1 first try + 2 retries
+		t.Fatalf("calls=%d, want 3", calls)
+	}
+	if re.Kind != FailStall || re.Attempts != 3 || !re.Transient() {
+		t.Fatalf("terminal error %+v", re)
+	}
+	st := r.Stats()
+	if st.Failed != 1 || st.Evicted != 1 || st.Retried != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPermanentFailureNotRetried(t *testing.T) {
+	r, err := NewFrom(Config{Workers: 1, Retry: Retry{Max: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	r.exec = func(Spec) (dsa.Result, error) {
+		calls++
+		return dsa.Result{}, stallFailure()
+	}
+	// Same wedge, but the spec injects no faults: a deterministic
+	// simulator reproduces it on every retry, so none are spent.
+	_, err = r.One(tinySpec())
+	var re *RunError
+	if !errors.As(err, &re) || re.Kind != FailStall || re.Transient() {
+		t.Fatalf("unexpected classification: %v", err)
+	}
+	if calls != 1 || r.Stats().Retried != 0 {
+		t.Fatalf("permanent failure consumed retries: calls=%d stats=%+v", calls, r.Stats())
+	}
+}
+
+func TestPanicIsolatedToSpec(t *testing.T) {
+	r := New(2)
+	bomb := tinySpec()
+	bomb.Workload = "TPC-H-19" // distinct hash from the good spec
+	r.exec = func(s Spec) (dsa.Result, error) {
+		if s.Workload == bomb.Workload {
+			panic("scripted kernel bug")
+		}
+		return fakeResult(s, 42), nil
+	}
+	outs := r.RunAll(context.Background(), []Spec{tinySpec(), bomb, tinySpec()})
+	if outs[0].Err != nil || outs[2].Err != nil {
+		t.Fatalf("panic leaked into healthy specs: %+v", outs)
+	}
+	if outs[1].Err == nil || outs[1].Err.Kind != FailPanic || !outs[1].Err.Transient() {
+		t.Fatalf("panic outcome %+v, want transient FailPanic", outs[1].Err)
+	}
+	if !errors.Is(outs[1].Err, outs[1].Err.Err) {
+		t.Fatal("panic cause not unwrappable")
+	}
+	if msg := outs[1].Err.Error(); msg == "" || !containsAll(msg, "panic", "scripted kernel bug") {
+		t.Errorf("panic error lost its payload: %q", msg)
+	}
+	if n := r.cachedFailures(); n != 0 {
+		t.Fatalf("%d failed entries survive in the cache", n)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSpecWallDeadline(t *testing.T) {
+	r, err := NewFrom(Config{Workers: 1, SpecWall: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	r.exec = func(s Spec) (dsa.Result, error) {
+		<-release // runaway simulation: blocks until the test releases it
+		return fakeResult(s, 1), nil
+	}
+	start := time.Now()
+	_, err = r.One(tinySpec())
+	close(release)
+	var re *RunError
+	if !errors.As(err, &re) || re.Kind != FailDeadline || !re.Transient() {
+		t.Fatalf("deadline outcome: %v", err)
+	}
+	if since := time.Since(start); since > 5*time.Second {
+		t.Fatalf("worker slot held for %v — pool would hang on a runaway run", since)
+	}
+	if n := r.cachedFailures(); n != 0 {
+		t.Fatalf("%d failed entries survive in the cache", n)
+	}
+}
+
+func TestContextCancelFailsFast(t *testing.T) {
+	r := New(2)
+	executed := 0
+	r.exec = func(s Spec) (dsa.Result, error) {
+		executed++
+		return fakeResult(s, 1), nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	outs := r.RunAll(ctx, []Spec{tinySpec(), faultedSpec()})
+	for i, o := range outs {
+		if o.Err == nil || o.Err.Kind != FailCanceled || o.Err.Transient() {
+			t.Fatalf("outcome %d under canceled ctx: %+v", i, o.Err)
+		}
+	}
+	if executed != 0 {
+		t.Fatalf("%d specs executed under a canceled context", executed)
+	}
+	// Canceled entries are evicted: a later uncanceled request re-executes.
+	if _, err := r.One(tinySpec()); err != nil {
+		t.Fatalf("re-execution after cancellation: %v", err)
+	}
+	if executed != 1 {
+		t.Fatalf("canceled entry poisoned the cache (executed=%d)", executed)
+	}
+}
+
+// TestStatsConsistencyUnderFailure pins the counter contract documented
+// on Stats: every resolve request increments exactly one of Launched,
+// Cached or Resumed; Failed == Evicted; Retried counts extra attempts;
+// Runs has one record per execution attempt.
+func TestStatsConsistencyUnderFailure(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*Runner, *int, *sync.Mutex) {
+		r, err := NewFrom(Config{Workers: 4, Retry: Retry{Max: 1}, CheckpointDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		calls := map[string]int{}
+		total := 0
+		r.exec = func(s Spec) (dsa.Result, error) {
+			mu.Lock()
+			calls[s.Key()]++
+			k := calls[s.Key()]
+			total++
+			mu.Unlock()
+			switch s.Workload {
+			case "TPC-H-19": // permanent: malformed-spec style failure
+				return dsa.Result{}, errors.New("scripted permanent failure")
+			case "TPC-H-20": // transient, recovers on the retry
+				if k == 1 {
+					return dsa.Result{}, stallFailure()
+				}
+				return fakeResult(s, 10), nil
+			case "wedge": // transient, never recovers
+				return dsa.Result{}, stallFailure()
+			default:
+				return fakeResult(s, 10), nil
+			}
+		}
+		return r, &total, &mu
+	}
+
+	spec := func(workload string, faulted bool) Spec {
+		s := tinySpec()
+		s.Workload = workload
+		if faulted {
+			s.Check = true
+			s.Faults = check.FaultConfig{DropResp: 2e-2}
+		}
+		return s
+	}
+	specs := []Spec{
+		spec("TPC-H-22", false), // success
+		spec("TPC-H-19", false), // permanent failure
+		spec("TPC-H-20", true),  // transient, recovers after 1 retry
+		spec("wedge", true),     // transient, exhausts Retry.Max=1
+		spec("TPC-H-22", false), // duplicate → cache hit or shared entry
+	}
+
+	r, total, mu := mk()
+	outs := r.RunAll(context.Background(), specs)
+	st := r.Stats()
+
+	requests := len(specs)
+	if got := st.Launched + st.Cached + st.Resumed; got != requests {
+		t.Fatalf("Launched+Cached+Resumed = %d, want %d (every request increments exactly one)", got, requests)
+	}
+	if st.Failed != st.Evicted {
+		t.Fatalf("Failed=%d Evicted=%d: a failed entry survived (or a success was evicted)", st.Failed, st.Evicted)
+	}
+	if st.Failed != 2 { // permanent + exhausted wedge
+		t.Fatalf("Failed=%d, want 2", st.Failed)
+	}
+	if st.Retried != 2 { // one for TPC-H-20, one for the wedge
+		t.Fatalf("Retried=%d, want 2", st.Retried)
+	}
+	mu.Lock()
+	executions := *total
+	mu.Unlock()
+	if len(st.Runs) != executions {
+		t.Fatalf("%d Runs records, want one per execution (%d)", len(st.Runs), executions)
+	}
+	if st.Launched+st.Retried != executions {
+		t.Fatalf("Launched+Retried=%d, want executions=%d", st.Launched+st.Retried, executions)
+	}
+	if outs[0].Err != nil || outs[2].Err != nil || outs[4].Err != nil {
+		t.Fatalf("healthy cells failed: %+v", outs)
+	}
+	if outs[1].Err == nil || outs[3].Err == nil {
+		t.Fatal("scripted failures did not surface")
+	}
+	if outs[3].Err.Attempts != 2 {
+		t.Fatalf("wedge attempts = %d, want 2", outs[3].Err.Attempts)
+	}
+	if st.Checkpointed != 2 { // the two distinct successes; failures never journal
+		t.Fatalf("Checkpointed=%d, want 2", st.Checkpointed)
+	}
+	if n := r.cachedFailures(); n != 0 {
+		t.Fatalf("%d failed entries survive in the cache", n)
+	}
+
+	// Second runner over the same journal: successes resume, failures
+	// (never journaled) re-execute — and the counters stay consistent.
+	r2, _, _ := mk()
+	r2.RunAll(context.Background(), specs)
+	st2 := r2.Stats()
+	if got := st2.Launched + st2.Cached + st2.Resumed; got != requests {
+		t.Fatalf("resumed run: Launched+Cached+Resumed = %d, want %d", got, requests)
+	}
+	if st2.Resumed != 2 {
+		t.Fatalf("resumed run: Resumed=%d, want 2 (both journaled successes)", st2.Resumed)
+	}
+	if st2.Failed != st2.Evicted || st2.Failed != 2 {
+		t.Fatalf("resumed run: Failed=%d Evicted=%d, want 2/2", st2.Failed, st2.Evicted)
+	}
+	if st2.Checkpointed != 0 {
+		t.Fatalf("resumed run re-journaled resumed results: %+v", st2)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tinySpec()
+	want := fakeResult(s, 777)
+	if _, ok := ck.load(s); ok {
+		t.Fatal("load hit before save")
+	}
+	if err := ck.save(s, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ck.load(s)
+	if !ok || got != want {
+		t.Fatalf("round trip: ok=%v got=%+v", ok, got)
+	}
+	// A different spec must not see this record.
+	other := s
+	other.Scale = 401
+	if _, ok := ck.load(other); ok {
+		t.Fatal("different spec resolved another spec's checkpoint")
+	}
+	// nil receiver is a miss + no-op, so the runner can call unconditionally.
+	var nilCk *Checkpoint
+	if _, ok := nilCk.load(s); ok {
+		t.Fatal("nil checkpoint returned a hit")
+	}
+	if err := nilCk.save(s, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCorruptAndMismatchedFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tinySpec()
+
+	// Corrupt JSON (a torn write that somehow reached the final name).
+	if err := os.WriteFile(ck.path(s.Hash()), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.load(s); ok {
+		t.Fatal("corrupt checkpoint file trusted")
+	}
+
+	// Valid JSON but for the wrong spec (hand-moved or stale-format file).
+	b, _ := json.Marshal(ckptFile{Key: "someone-else", Result: fakeResult(s, 1)})
+	if err := os.WriteFile(ck.path(s.Hash()), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ck.load(s); ok {
+		t.Fatal("key-mismatched checkpoint file trusted")
+	}
+
+	// The runner degrades both cases to re-execution, not an abort.
+	r, err := NewFrom(Config{Workers: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.exec = func(s Spec) (dsa.Result, error) { return fakeResult(s, 9), nil }
+	if _, err := r.One(s); err != nil {
+		t.Fatalf("corrupt checkpoint aborted the run: %v", err)
+	}
+	st := r.Stats()
+	if st.Launched != 1 || st.Resumed != 0 {
+		t.Fatalf("stats %+v, want relaunch (1 launched / 0 resumed)", st)
+	}
+	// The re-executed result overwrote the corrupt record atomically.
+	if got, ok := ck.load(s); !ok || got.Cycles != 9 {
+		t.Fatalf("journal not repaired: ok=%v got=%+v", ok, got)
+	}
+}
+
+// TestInterruptedSweepResumesByteIdentical is the acceptance criterion:
+// a sweep killed mid-run (context cancellation) and resumed from the
+// same -checkpoint directory produces byte-identical merged output to an
+// uninterrupted clean serial run.
+func TestInterruptedSweepResumesByteIdentical(t *testing.T) {
+	specs := []Spec{}
+	for _, q := range []string{"TPC-H-19", "TPC-H-20", "TPC-H-22"} {
+		for _, k := range []dsa.Kind{dsa.KindXCache, dsa.KindAddr} {
+			specs = append(specs, Spec{DSA: DSAWidx, Kind: k, Workload: q, Scale: 400})
+		}
+	}
+
+	// Reference: uninterrupted clean serial run, no resilience machinery.
+	clean, err := New(1).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First invocation: serial, checkpointed, killed after two completions.
+	dir := t.TempDir()
+	r1, err := NewFrom(Config{Workers: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	inner := r1.exec
+	r1.exec = func(s Spec) (dsa.Result, error) {
+		started++
+		if started == 3 {
+			// The "kill": the first two specs have fully settled (serial
+			// pool), this one dies mid-flight, the rest fail fast.
+			cancel()
+			return dsa.Result{}, ctx.Err()
+		}
+		return inner(s)
+	}
+	outs := r1.RunAll(ctx, specs)
+	killed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			if o.Err.Kind != FailCanceled {
+				t.Fatalf("interrupted run produced a non-cancellation failure: %+v", o.Err)
+			}
+			killed++
+		}
+	}
+	if killed == 0 {
+		t.Fatal("cancellation killed nothing — test is vacuous")
+	}
+	if got := r1.Stats().Checkpointed; got != 2 {
+		t.Fatalf("first invocation journaled %d results, want 2", got)
+	}
+
+	// Second invocation: same checkpoint dir, fresh process (new Runner),
+	// this time running to completion — and in parallel, to show resume
+	// and scheduling don't leak into the merged output.
+	r2, err := NewFrom(Config{Workers: 4, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := r2.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatal("resumed sweep output is not byte-identical to the clean serial run")
+	}
+	st := r2.Stats()
+	if st.Resumed != 2 || st.Launched != len(specs)-2 {
+		t.Fatalf("resume stats %+v, want 2 resumed / %d launched", st, len(specs)-2)
+	}
+
+	// Checkpoint files themselves are the journal: one per completed spec.
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(specs) {
+		t.Fatalf("%d journal files, want %d", len(files), len(specs))
+	}
+}
+
+// TestFaultedRetriedSweepByteIdentical is the other half of the
+// determinism-under-resilience acceptance: a sweep that suffers injected
+// transient faults and recovers through retry produces byte-identical
+// output to a clean run of the same specs.
+func TestFaultedRetriedSweepByteIdentical(t *testing.T) {
+	specs := []Spec{}
+	for _, q := range []string{"TPC-H-19", "TPC-H-20", "TPC-H-22"} {
+		s := faultedSpec()
+		s.Workload = q
+		specs = append(specs, s)
+	}
+
+	clean, err := New(1).Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(clean)
+
+	// Every spec wedges once (scripted) before its real execution: the
+	// retry layer absorbs the transient and the result is untouched.
+	r, err := NewFrom(Config{Workers: 3, Retry: Retry{Max: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	wedged := map[string]bool{}
+	inner := r.exec
+	r.exec = func(s Spec) (dsa.Result, error) {
+		mu.Lock()
+		first := !wedged[s.Key()]
+		wedged[s.Key()] = true
+		mu.Unlock()
+		if first {
+			return dsa.Result{}, stallFailure()
+		}
+		return inner(s)
+	}
+	faulty, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(faulty)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatal("retried sweep output is not byte-identical to the clean run")
+	}
+	st := r.Stats()
+	if st.Retried != len(specs) || st.Failed != 0 {
+		t.Fatalf("stats %+v, want %d retried / 0 failed", st, len(specs))
+	}
+}

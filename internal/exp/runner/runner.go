@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -15,17 +17,46 @@ import (
 // Fig 14 and Fig 15) simulates exactly once per process.
 //
 // Determinism contract: Run returns results in spec order, each result
-// a pure function of its Spec. Worker count and completion order affect
-// only wall time and Stats — never the returned values. Errors are
-// reported for the lowest-indexed failing spec, again independent of
-// scheduling.
+// a pure function of its Spec. Worker count, completion order, retries
+// and checkpoint resume affect only wall time and Stats — never the
+// returned values. Errors are reported for the lowest-indexed failing
+// spec, again independent of scheduling.
+//
+// Resilience: every failure resolves to a structured *RunError
+// (classified transient vs permanent), worker panics are isolated to
+// their spec, transient failures are retried with deterministic backoff,
+// failed entries are evicted instead of poisoning the memo table, a
+// per-spec wall deadline degrades a runaway run to a typed error instead
+// of hanging the pool, and completed results can be journaled to a
+// crash-safe on-disk checkpoint for resume.
 type Runner struct {
-	workers int
+	cfg  Config
+	ckpt *Checkpoint
+
+	// exec is the execution function (Spec.Execute in production); a seam
+	// so resilience tests can script failures without a real simulation.
+	exec func(Spec) (dsa.Result, error)
 
 	mu      sync.Mutex
 	cache   map[string]*entry
 	stats   Stats
 	running int // workers currently executing a simulation
+}
+
+// Config configures a Runner beyond its worker count.
+type Config struct {
+	// Workers is the pool size; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Retry bounds re-execution of transiently failing specs.
+	Retry Retry
+	// CheckpointDir, when non-empty, journals every completed result to a
+	// content-addressed on-disk store and consults it before executing,
+	// so an interrupted sweep resumes instead of recomputing.
+	CheckpointDir string
+	// SpecWall is the per-spec wall-clock deadline; 0 disables it. A spec
+	// exceeding it fails with FailDeadline (transient) and its simulation
+	// goroutine is abandoned, freeing the worker slot.
+	SpecWall time.Duration
 }
 
 // entry is one content-addressed cache slot. done closes when the
@@ -34,84 +65,163 @@ type Runner struct {
 type entry struct {
 	done chan struct{}
 	res  dsa.Result
-	err  error
+	err  *RunError
 }
 
 // New returns a Runner with the given worker count; workers <= 0 uses
 // GOMAXPROCS. New(1) gives serial execution with the same caching and
 // merge semantics.
 func New(workers int) *Runner {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	r, err := NewFrom(Config{Workers: workers})
+	if err != nil {
+		// Unreachable: only the checkpoint store can fail to open.
+		panic(err)
 	}
-	return &Runner{workers: workers, cache: map[string]*entry{}}
+	return r
+}
+
+// NewFrom returns a Runner for the full configuration. It fails only
+// when the checkpoint directory cannot be created.
+func NewFrom(cfg Config) (*Runner, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Retry.Max < 0 {
+		cfg.Retry.Max = 0
+	}
+	r := &Runner{cfg: cfg, cache: map[string]*entry{}, exec: Spec.Execute}
+	if cfg.CheckpointDir != "" {
+		ckpt, err := OpenCheckpoint(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		r.ckpt = ckpt
+	}
+	return r, nil
 }
 
 // Workers returns the configured pool size.
-func (r *Runner) Workers() int { return r.workers }
+func (r *Runner) Workers() int { return r.cfg.Workers }
 
 // One executes a single spec (through the cache).
 func (r *Runner) One(s Spec) (dsa.Result, error) {
-	return r.resolve(s)
+	res, rerr := r.resolve(context.Background(), s)
+	if rerr != nil {
+		return dsa.Result{}, rerr
+	}
+	return res, nil
 }
 
-// Run executes every spec, at most r.workers concurrently, and returns
+// Outcome is one spec's terminal state in a partial run: either a result
+// or a classified failure, never both.
+type Outcome struct {
+	Res dsa.Result
+	Err *RunError // nil on success
+}
+
+// Run executes every spec, at most Workers concurrently, and returns
 // the results in spec order. If any spec fails, the error of the
 // lowest-indexed failing spec is returned (the remaining specs still
 // run to completion so the cache stays warm for retries).
 func (r *Runner) Run(specs []Spec) ([]dsa.Result, error) {
-	n := len(specs)
-	results := make([]dsa.Result, n)
-	errs := make([]error, n)
+	return r.RunCtx(context.Background(), specs)
+}
 
-	workers := r.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i, s := range specs {
-			results[i], errs[i] = r.resolve(s)
+// RunCtx is Run under a context: cancelling it makes unstarted specs
+// fail fast with FailCanceled and abandons in-flight simulations, so a
+// sweep can be interrupted (and later resumed from a checkpoint) without
+// waiting for the full matrix.
+func (r *Runner) RunCtx(ctx context.Context, specs []Spec) ([]dsa.Result, error) {
+	outs := r.RunAll(ctx, specs)
+	results := make([]dsa.Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, fmt.Errorf("%s: %w", specs[i].Key(), o.Err)
 		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					results[i], errs[i] = r.resolve(specs[i])
-				}
-			}()
-		}
-		for i := range specs {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", specs[i].Key(), err)
-		}
+		results[i] = o.Res
 	}
 	return results, nil
 }
 
-// resolve returns the result for s, executing it if no other request
-// has, or waiting on / reusing the cached run otherwise.
-func (r *Runner) resolve(s Spec) (dsa.Result, error) {
+// RunAll is the graceful-degradation entry point: every spec runs to a
+// terminal Outcome — result or classified *RunError — and no failure
+// aborts the batch. Outcomes are in spec order; successful cells obey
+// the same determinism contract as Run.
+func (r *Runner) RunAll(ctx context.Context, specs []Spec) []Outcome {
+	n := len(specs)
+	outs := make([]Outcome, n)
+	do := func(i int) {
+		res, rerr := r.resolve(ctx, specs[i])
+		if rerr != nil {
+			outs[i] = Outcome{Err: rerr}
+		} else {
+			outs[i] = Outcome{Res: res}
+		}
+	}
+
+	workers := r.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range specs {
+			do(i)
+		}
+		return outs
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				do(i)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outs
+}
+
+// resolve returns the result for s, executing it (with retry, panic
+// isolation and deadline supervision) if no other request has, or
+// waiting on / reusing the cached run otherwise.
+func (r *Runner) resolve(ctx context.Context, s Spec) (dsa.Result, *RunError) {
 	key := s.Hash()
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
 		r.stats.Cached++
 		r.mu.Unlock()
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			// The in-flight run keeps going (its own resolve owns it);
+			// this requester gives up waiting.
+			return dsa.Result{}, classify(s, ctx.Err(), 0)
+		}
 	}
 	e := &entry{done: make(chan struct{})}
 	r.cache[key] = e
+	r.mu.Unlock()
+
+	// Crash-safe resume: a journaled result is a pure function of the
+	// spec, so loading it is indistinguishable from re-executing.
+	if res, ok := r.ckpt.load(s); ok {
+		e.res = res
+		close(e.done)
+		r.mu.Lock()
+		r.stats.Resumed++
+		r.mu.Unlock()
+		return e.res, nil
+	}
+
+	r.mu.Lock()
 	r.stats.Launched++
 	r.running++
 	if r.running > r.stats.PeakWorkers {
@@ -119,26 +229,134 @@ func (r *Runner) resolve(s Spec) (dsa.Result, error) {
 	}
 	r.mu.Unlock()
 
-	start := time.Now()
-	e.res, e.err = s.Execute()
-	wall := time.Since(start)
+	res, rerr := r.attempt(ctx, s)
+
+	e.res, e.err = res, rerr
 	close(e.done)
 
 	r.mu.Lock()
 	r.running--
-	r.stats.Wall += wall
-	if e.err != nil {
+	if rerr != nil {
+		// Evict: a failed simulation must never be memoised, or one
+		// transient fault poisons every later figure sharing the spec.
 		r.stats.Failed++
+		r.stats.Evicted++
+		delete(r.cache, key)
 	} else {
-		r.stats.SimCycles += e.res.Cycles
+		r.stats.SimCycles += res.Cycles
 	}
+	r.mu.Unlock()
+
+	if rerr == nil && r.ckpt != nil {
+		if err := r.ckpt.save(s, res); err != nil {
+			// The in-memory result is still valid; surface via Stats.
+			r.mu.Lock()
+			r.stats.CheckpointErrs++
+			r.mu.Unlock()
+		} else {
+			r.mu.Lock()
+			r.stats.Checkpointed++
+			r.mu.Unlock()
+		}
+	}
+	if rerr != nil {
+		return dsa.Result{}, rerr
+	}
+	return res, nil
+}
+
+// attempt runs s under the bounded-retry policy: transient failures are
+// re-executed up to Retry.Max extra times with deterministic backoff;
+// permanent failures and exhausted budgets surface immediately. Because
+// a successful execution is a pure function of the spec, a retried
+// success is bit-identical to a first-try success — retries change only
+// wall time and Stats.
+func (r *Runner) attempt(ctx context.Context, s Spec) (dsa.Result, *RunError) {
+	for attempts := 1; ; attempts++ {
+		start := time.Now()
+		res, err := r.execOne(ctx, s)
+		wall := time.Since(start)
+		if err == nil {
+			r.note(s, res.Cycles, wall, "")
+			return res, nil
+		}
+		rerr := classify(s, err, attempts)
+		r.note(s, 0, wall, rerr.Kind.String())
+		if !rerr.Transient() || attempts > r.cfg.Retry.Max || ctx.Err() != nil {
+			return dsa.Result{}, rerr
+		}
+		r.mu.Lock()
+		r.stats.Retried++
+		r.mu.Unlock()
+		if d := r.cfg.Retry.delay(attempts); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return dsa.Result{}, classify(s, ctx.Err(), attempts)
+			}
+		}
+	}
+}
+
+// note records one execution attempt in the per-run stats.
+func (r *Runner) note(s Spec, cycles uint64, wall time.Duration, fail string) {
+	r.mu.Lock()
+	r.stats.Wall += wall
 	r.stats.Runs = append(r.stats.Runs, RunStat{
 		Key:    s.Key(),
-		Cycles: e.res.Cycles,
+		Cycles: cycles,
 		Wall:   wall,
+		Err:    fail,
 	})
 	r.mu.Unlock()
-	return e.res, e.err
+}
+
+// execOne performs a single supervised execution: panic-shielded, and —
+// when a deadline or cancellable context applies — raced against the
+// per-spec wall timer and ctx. On timeout or cancellation the simulation
+// goroutine is abandoned (a cycle-level kernel cannot be preempted); it
+// finishes on its own and its result is discarded, but the worker slot
+// is released immediately, so the pool never hangs on a runaway run.
+func (r *Runner) execOne(ctx context.Context, s Spec) (dsa.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return dsa.Result{}, err
+	}
+	if r.cfg.SpecWall <= 0 && ctx.Done() == nil {
+		return r.execShielded(s)
+	}
+	type outT struct {
+		res dsa.Result
+		err error
+	}
+	ch := make(chan outT, 1)
+	go func() {
+		res, err := r.execShielded(s)
+		ch <- outT{res, err}
+	}()
+	var timeout <-chan time.Time
+	if r.cfg.SpecWall > 0 {
+		t := time.NewTimer(r.cfg.SpecWall)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timeout:
+		return dsa.Result{}, &deadlineError{limit: r.cfg.SpecWall}
+	case <-ctx.Done():
+		return dsa.Result{}, ctx.Err()
+	}
+}
+
+// execShielded isolates a per-spec panic to that spec.
+func (r *Runner) execShielded(s Spec) (res dsa.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &panicError{val: p, stack: debug.Stack()}
+		}
+	}()
+	return r.exec(s)
 }
 
 // Stats returns a snapshot of the runner's counters.
@@ -147,6 +365,25 @@ func (r *Runner) Stats() Stats {
 	defer r.mu.Unlock()
 	s := r.stats
 	s.Runs = append([]RunStat(nil), r.stats.Runs...)
-	s.Workers = r.workers
+	s.Workers = r.cfg.Workers
 	return s
+}
+
+// cachedFailures counts failed entries still resident in the memo table.
+// The taxonomy's eviction contract keeps this at zero once all in-flight
+// runs settle; the fault-matrix soak asserts it.
+func (r *Runner) cachedFailures() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.cache {
+		select {
+		case <-e.done:
+			if e.err != nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
 }

@@ -8,35 +8,55 @@ import (
 )
 
 // Stats summarises what a Runner did: how many simulations were
-// launched vs served from the content-addressed cache, how many failed,
-// the total simulated cycles and cumulative simulation wall time (sum
-// over runs — larger than elapsed time when workers overlap), and the
-// peak number of concurrently executing simulations.
+// launched vs served from the content-addressed cache or resumed from
+// the on-disk checkpoint, how many failed after the retry policy ran
+// out, the retry/eviction/journal activity, the total simulated cycles
+// and cumulative simulation wall time (sum over attempts — larger than
+// elapsed time when workers overlap), and the peak number of
+// concurrently executing simulations.
+//
+// Counter contract (pinned by TestStatsConsistencyUnderFailure): every
+// resolve request increments exactly one of Launched, Cached or Resumed.
+// Retried counts extra execution attempts beyond each first one. Failed
+// and Evicted count terminal failures (after retries), and stay equal —
+// no failed entry survives in the memo table. Checkpointed counts
+// successful journal writes; CheckpointErrs successful runs whose
+// journal write failed (the in-memory result is still served).
 type Stats struct {
 	Workers     int
 	Launched    int
 	Cached      int
+	Resumed     int
 	Failed      int
+	Retried     int
+	Evicted     int
 	PeakWorkers int
-	SimCycles   uint64
-	Wall        time.Duration
-	Runs        []RunStat
+
+	Checkpointed   int
+	CheckpointErrs int
+
+	SimCycles uint64
+	Wall      time.Duration
+	Runs      []RunStat
 }
 
-// RunStat records one executed (non-cached) simulation.
+// RunStat records one execution attempt (non-cached). Err is empty on
+// success and the taxonomy kind ("stall", "panic", ...) on failure.
 type RunStat struct {
 	Key    string
 	Cycles uint64
 	Wall   time.Duration
+	Err    string
 }
 
-// HitRate is the fraction of requests served from the run cache.
+// HitRate is the fraction of requests served without executing: run
+// cache hits plus checkpoint resumes.
 func (s Stats) HitRate() float64 {
-	total := s.Launched + s.Cached
+	total := s.Launched + s.Cached + s.Resumed
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Cached) / float64(total)
+	return float64(s.Cached+s.Resumed) / float64(total)
 }
 
 // String renders the summary block xcache-bench -v prints.
@@ -46,11 +66,20 @@ func (s Stats) String() string {
 		s.Workers, s.PeakWorkers, s.Launched, s.Cached, 100*s.HitRate(), s.Failed)
 	fmt.Fprintf(&b, "runner: %d simulated cycles, %.2fs cumulative simulation time\n",
 		s.SimCycles, s.Wall.Seconds())
+	if s.Retried > 0 || s.Evicted > 0 || s.Resumed > 0 || s.Checkpointed > 0 || s.CheckpointErrs > 0 {
+		fmt.Fprintf(&b, "runner: %d retried, %d evicted, %d resumed from checkpoint, %d checkpointed",
+			s.Retried, s.Evicted, s.Resumed, s.Checkpointed)
+		if s.CheckpointErrs > 0 {
+			fmt.Fprintf(&b, " (%d journal write failures)", s.CheckpointErrs)
+		}
+		b.WriteString("\n")
+	}
 	return b.String()
 }
 
-// Detail renders the per-run table, slowest first (ties broken by key
-// so the rendering is stable for equal durations).
+// Detail renders the per-attempt table, slowest first (ties broken by
+// key so the rendering is stable for equal durations). Failed attempts
+// carry their taxonomy kind.
 func (s Stats) Detail() string {
 	runs := append([]RunStat(nil), s.Runs...)
 	sort.Slice(runs, func(i, j int) bool {
@@ -61,7 +90,11 @@ func (s Stats) Detail() string {
 	})
 	var b strings.Builder
 	for _, r := range runs {
-		fmt.Fprintf(&b, "%8.3fs  %12d cyc  %s\n", r.Wall.Seconds(), r.Cycles, r.Key)
+		fmt.Fprintf(&b, "%8.3fs  %12d cyc  %s", r.Wall.Seconds(), r.Cycles, r.Key)
+		if r.Err != "" {
+			fmt.Fprintf(&b, "  [FAILED: %s]", r.Err)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
