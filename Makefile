@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak bench ci
+.PHONY: verify vet fmt golden race faultsmoke soak fuzz-smoke fuzz bench ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -39,7 +39,21 @@ faultsmoke:
 soak:
 	XCACHE_SOAK=full $(GO) test -race -run TestFaultMatrixSoak -count=1 -v ./internal/exp/runner
 
+# Fuzz smoke: replay the checked-in seed corpora (testdata/fuzz/) through
+# every fuzz target deterministically — no -fuzz randomness, so it is a
+# stable CI tier (~seconds). FuzzDecode/FuzzAssemble pin the ISA layer;
+# FuzzVerify pins accepts-implies-no-structural-trap on a live controller.
+fuzz-smoke:
+	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl
+
+# Open-ended fuzzing (not part of ci): 30s per target, promote anything
+# interesting from the build cache into testdata/fuzz/ before committing.
+fuzz:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa
+	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/isa
+	$(GO) test -fuzz FuzzVerify -fuzztime 30s ./internal/ctrl
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
-ci: verify race faultsmoke soak
+ci: verify race faultsmoke soak fuzz-smoke

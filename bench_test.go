@@ -19,8 +19,11 @@ import (
 	"sync"
 	"testing"
 
+	"xcache/internal/dsa/widx"
 	"xcache/internal/exp"
 	"xcache/internal/exp/runner"
+	"xcache/internal/hashidx"
+	"xcache/internal/program"
 )
 
 func benchEnvInt(name string, def int) int {
@@ -74,6 +77,27 @@ func report(b *testing.B, out *exp.Out) {
 	}
 	if testing.Verbose() {
 		fmt.Println(out.Table.String())
+	}
+}
+
+// TestVerifierCostIsLoadTime guards the performance contract of the
+// static microcode verifier: it runs when a program is loaded into a
+// controller, never on the execution path. A full Widx run covers tens of
+// thousands of controller cycles; if Verify leaked into step() or Tick(),
+// the call counter would scale with cycles instead of with program loads
+// (RunXCache loads twice: the placeholder-shift program at build, then
+// the workload-specific recompile).
+func TestVerifierCostIsLoadTime(t *testing.T) {
+	before := program.VerifyCalls()
+	res, err := widx.RunXCache(widx.DefaultWork(hashidx.TPCH()[0], 400), widx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 1000 {
+		t.Fatalf("workload too small to be meaningful: %d cycles", res.Cycles)
+	}
+	if delta := program.VerifyCalls() - before; delta > 2 {
+		t.Fatalf("Verify ran %d times for one run over %d cycles — it must be load-time only (2 loads expected)", delta, res.Cycles)
 	}
 }
 

@@ -25,6 +25,8 @@
 //	2  stall (watchdog: no forward progress)
 //	3  invariant violation (including recovered queue overflow)
 //	4  cycle budget exhausted
+//	5  microcode trap (structural program fault; walker quiesced)
+//	6  program rejected by the static verifier at load
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"os"
 
 	"xcache/internal/check"
+	"xcache/internal/ctrl"
 	"xcache/internal/dsa"
 	"xcache/internal/dsa/btreeidx"
 	"xcache/internal/dsa/dasx"
@@ -42,6 +45,7 @@ import (
 	"xcache/internal/dsa/spgemm"
 	"xcache/internal/dsa/widx"
 	"xcache/internal/hashidx"
+	"xcache/internal/program"
 )
 
 func main() {
@@ -92,7 +96,8 @@ func main() {
 // simFailure is the machine-readable failure record emitted on stderr.
 type simFailure struct {
 	Error       string             `json:"error"`
-	Kind        string             `json:"kind"` // stall | invariant | overflow | budget | usage
+	Kind        string             `json:"kind"` // stall | invariant | overflow | budget | trap | verify | usage
+	TrapKind    string             `json:"trap_kind,omitempty"`
 	Cycle       int64              `json:"cycle,omitempty"`
 	StallCycles int64              `json:"stall_cycles,omitempty"`
 	StuckQueues []string           `json:"stuck_queues,omitempty"`
@@ -105,6 +110,8 @@ func exit(err error) {
 	f := simFailure{Error: err.Error(), Kind: "usage"}
 	code := 1
 	var cf *check.Failure
+	var trap *ctrl.Trap
+	var ve *program.VerifyError
 	if errors.As(err, &cf) {
 		f.Kind = cf.Kind.String()
 		switch cf.Kind {
@@ -114,6 +121,8 @@ func exit(err error) {
 			code = 3
 		case check.FailBudget:
 			code = 4
+		case check.FailTrap:
+			code = 5
 		}
 		if rep := cf.Report; rep != nil {
 			f.Cycle = int64(rep.Cycle)
@@ -121,6 +130,17 @@ func exit(err error) {
 			f.StuckQueues = rep.StuckQueues()
 			f.Report = rep
 		}
+	} else if errors.As(err, &trap) {
+		// A trap surfaced outside a supervised run (the DSA's post-run
+		// Trap() check on an unsupervised kernel).
+		f.Kind = "trap"
+		code = 5
+	} else if errors.As(err, &ve) {
+		f.Kind = "verify"
+		code = 6
+	}
+	if errors.As(err, &trap) {
+		f.TrapKind = trap.Kind.String()
 	}
 	enc := json.NewEncoder(os.Stderr)
 	enc.SetIndent("", "  ")

@@ -106,6 +106,7 @@ type Harness struct {
 	inv   *invariants
 	inj   *Injector
 	diags []Diagnoser
+	ctrls []*ctrl.Controller
 }
 
 // Attach wires the configured hardening features into the kernel. Call it
@@ -131,6 +132,7 @@ func Attach(k *sim.Kernel, cfg *Config) *Harness {
 			h.diags = append(h.diags, d)
 		}
 	}
+	h.ctrls = ctrls
 
 	if cfg.Watchdog > 0 {
 		h.wd = newWatchdog(k, cfg.Watchdog)
@@ -201,6 +203,17 @@ func (h *Harness) Err() error {
 	return h.inv.err
 }
 
+// trapped returns the first structural microcode trap raised by any
+// supervised controller, or nil.
+func (h *Harness) trapped() *ctrl.Trap {
+	for _, c := range h.ctrls {
+		if t := c.Trap(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
 // Run steps the kernel until done reports true or the budget of max
 // cycles is exhausted, under the harness's supervision. On failure —
 // watchdog stall, invariant violation, queue overflow (a recovered
@@ -216,6 +229,9 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 			if err := h.Err(); err != nil {
 				return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
 			}
+			if t := h.trapped(); t != nil {
+				return false, h.trapReport(t)
+			}
 			return true, nil
 		}
 		if err := h.step(); err != nil {
@@ -224,6 +240,9 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 		if err := h.Err(); err != nil {
 			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
 		}
+		if t := h.trapped(); t != nil {
+			return false, h.trapReport(t)
+		}
 		if h.wd != nil && h.wd.stalled(h.k.Cycle()) {
 			return false, h.report(FailStall, fmt.Sprintf("no forward progress for %d cycles", h.Cfg.Watchdog))
 		}
@@ -231,6 +250,9 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 	if done() {
 		if err := h.Err(); err != nil {
 			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
+		}
+		if t := h.trapped(); t != nil {
+			return false, h.trapReport(t)
 		}
 		return true, nil
 	}
@@ -252,6 +274,15 @@ func (h *Harness) step() (err error) {
 	}()
 	h.k.Step()
 	return nil
+}
+
+// trapReport folds a structural microcode trap into a StallReport. The
+// controller has already quiesced the walker, so the machine is healthy —
+// the run still aborts, because a trapped program's results are garbage.
+func (h *Harness) trapReport(t *ctrl.Trap) *StallReport {
+	r := h.report(FailTrap, fmt.Sprintf("microcode trap: %v", t))
+	r.Trap = t
+	return r
 }
 
 // report assembles a StallReport from the kernel's current state.

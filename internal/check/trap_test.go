@@ -1,0 +1,108 @@
+package check_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xcache/internal/check"
+	"xcache/internal/ctrl"
+	"xcache/internal/dataram"
+	"xcache/internal/dram"
+	"xcache/internal/energy"
+	"xcache/internal/mem"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+// TestRunAbortsOnTrap pins the trap path end to end through the harness:
+// a microcode trap (here a runaway loop, which passes the static verifier
+// because only loops can exhaust the step budget at runtime) must abort a
+// supervised run with FailTrap, carry the *ctrl.Trap for errors.As, and
+// do so immediately — not by stalling until the watchdog window expires.
+func TestRunAbortsOnTrap(t *testing.T) {
+	spec := program.Spec{
+		Name: "runaway",
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: "top: inc r5\njmp top\nhalt Valid"},
+		},
+	}
+	prog, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, dram.DefaultConfig(), img)
+	meter := &energy.Counters{}
+	tags := metatag.New(metatag.Config{Sets: 16, Ways: 4, KeyWords: 1}, meter)
+	data := dataram.New(dataram.Config{Sectors: 64, WordsPerSector: 4}, meter)
+	c, err := ctrl.New(k, ctrl.Config{MaxRoutineSteps: 64}, prog, tags, data, d.Req, d.Resp, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushed := false
+	k.Add(sim.ComponentFunc(func(cy sim.Cycle) {
+		if !pushed {
+			pushed = c.ReqQ.Push(ctrl.MetaReq{ID: 1, Op: ctrl.MetaLoad, Key: metatag.Key{1, 0}, Issued: cy})
+		}
+	}))
+	h := check.Attach(k, check.Default())
+	ok, rep := check.Run(h, k, func() bool { return false }, 200_000)
+	if ok {
+		t.Fatal("trapped run reported success")
+	}
+	if rep.Kind != check.FailTrap {
+		t.Fatalf("abort kind %s, want trap:\n%s", rep.Kind, rep)
+	}
+	if !strings.Contains(rep.Reason, "runaway-routine") {
+		t.Fatalf("report reason does not name the trap kind: %q", rep.Reason)
+	}
+	// The trap aborts promptly; it must not degrade into a watchdog stall.
+	if rep.Cycle >= 50_000 {
+		t.Fatalf("trap abort took %d cycles — did the watchdog fire instead?", rep.Cycle)
+	}
+	var tr *ctrl.Trap
+	if !errors.As(rep.Failure(), &tr) {
+		t.Fatalf("Failure() does not unwrap to *ctrl.Trap: %v", rep.Failure())
+	}
+	if tr.Kind != ctrl.TrapRunawayRoutine {
+		t.Fatalf("trap kind %s, want runaway-routine", tr.Kind)
+	}
+}
+
+// TestVerifierRejectsAtBuild pins the other defense layer through the
+// same stack: ctrl.New refuses a program the static verifier rejects.
+func TestVerifierRejectsAtBuild(t *testing.T) {
+	spec := program.Spec{
+		Name: "bigfill",
+		Transitions: []program.Transition{
+			// A 12-word fill exceeds the default MaxFillWords=8: statically
+			// decidable, but only against the controller's configuration, so
+			// the assembler and compiler both accept it.
+			{State: "Default", Event: "MetaLoad", Asm: "allocm\nenqfilli r4, 12\nstate Valid"},
+		},
+	}
+	prog, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, dram.DefaultConfig(), img)
+	meter := &energy.Counters{}
+	tags := metatag.New(metatag.Config{Sets: 16, Ways: 4, KeyWords: 1}, meter)
+	data := dataram.New(dataram.Config{Sectors: 64, WordsPerSector: 4}, meter)
+	_, err = ctrl.New(k, ctrl.Config{}, prog, tags, data, d.Req, d.Resp, meter)
+	if err == nil {
+		t.Fatal("ctrl.New accepted a program the verifier must reject")
+	}
+	var ve *program.VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("load error does not unwrap to *program.VerifyError: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rejected at load") {
+		t.Fatalf("load error lacks context: %v", err)
+	}
+}

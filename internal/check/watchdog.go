@@ -108,12 +108,13 @@ type ComponentState struct {
 // cmd/xcache-sim's exit codes.
 type FailureKind int
 
-// The four supervised abort causes.
+// The supervised abort causes.
 const (
 	FailStall     FailureKind = iota + 1 // watchdog: no forward progress for a full window
 	FailInvariant                        // per-cycle invariant checker violation
 	FailOverflow                         // recovered queue-overflow (MustPush) panic
 	FailBudget                           // cycle budget exhausted while still making progress
+	FailTrap                             // structural microcode fault (ctrl.Trap): walker quiesced
 )
 
 // MarshalJSON renders the kind by name, so a serialized StallReport is
@@ -133,16 +134,20 @@ func (k FailureKind) String() string {
 		return "overflow"
 	case FailBudget:
 		return "budget"
+	case FailTrap:
+		return "trap"
 	}
 	return fmt.Sprintf("failure(%d)", int(k))
 }
 
 // Failure is the typed error a supervised run aborts with: the kind plus
 // the full StallReport (nil only for an unsupervised budget exhaustion,
-// where no harness was attached to collect one).
+// where no harness was attached to collect one). For FailTrap, Trap
+// carries the underlying ctrl.Trap so errors.As can reach it.
 type Failure struct {
 	Kind   FailureKind
 	Report *StallReport
+	Trap   error // the *ctrl.Trap behind a FailTrap abort, else nil
 }
 
 // Error renders the full report so existing log output keeps its
@@ -154,6 +159,9 @@ func (f *Failure) Error() string {
 	return fmt.Sprintf("%s: cycle budget exhausted (unsupervised run)", f.Kind)
 }
 
+// Unwrap exposes the underlying trap (if any) to errors.Is/As.
+func (f *Failure) Unwrap() error { return f.Trap }
+
 // StallReport is the structured post-mortem produced when a supervised
 // run fails: watchdog stall, invariant violation, queue overflow, or
 // cycle-budget exhaustion.
@@ -164,6 +172,10 @@ type StallReport struct {
 	StallCycles sim.Cycle // cycles since the last observed forward progress
 	Queues      []QueueState
 	Components  []ComponentState
+
+	// Trap carries the underlying *ctrl.Trap when Kind == FailTrap; its
+	// rendering is already folded into Reason, so it is skipped in JSON.
+	Trap error `json:"-"`
 }
 
 // Failure wraps the report as a typed error. It is nil-safe: a nil
@@ -173,7 +185,7 @@ func (r *StallReport) Failure() *Failure {
 	if r == nil {
 		return &Failure{Kind: FailBudget}
 	}
-	return &Failure{Kind: r.Kind, Report: r}
+	return &Failure{Kind: r.Kind, Report: r, Trap: r.Trap}
 }
 
 // StuckQueues returns the names of queues flagged Stuck, the usual

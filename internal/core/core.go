@@ -135,12 +135,15 @@ func Build(k *sim.Kernel, cfg Config, spec program.Spec,
 	data := dataram.New(dataram.Config{
 		Sectors: cfg.Sectors, WordsPerSector: cfg.WordsPerSector, Banks: cfg.Banks,
 	}, meter)
-	cc := ctrl.New(k, ctrl.Config{
+	cc, err := ctrl.New(k, ctrl.Config{
 		NumActive: cfg.NumActive, NumExe: cfg.NumExe, NumXRegs: cfg.NumXRegs,
 		MaxFillWords: cfg.MaxFillWords, Mode: cfg.Mode, Hardwired: cfg.Hardwired,
 		MetaQueueDepth: cfg.MetaQueueDepth, RespQueueDepth: cfg.RespQueueDepth,
 		RespDataWords: cfg.RespDataWords,
 	}, prog, tags, data, memReq, memResp, meter)
+	if err != nil {
+		return nil, fmt.Errorf("core: walker %q: %w", spec.Name, err)
+	}
 	return &Cache{Cfg: cfg, Prog: prog, Ctrl: cc, Tags: tags, Data: data, Meter: meter}, nil
 }
 

@@ -155,6 +155,7 @@ type Stats struct {
 	AllocRetries     uint64 // allocM conflicts pushed back to replay
 	MaxFillsInFlight int    // high-water mark of outstanding DRAM fills
 	StallCycles      uint64 // backend cycles lost to full queues
+	Traps            uint64 // structural microcode faults (walkers quiesced)
 
 	// Fault-recovery accounting (zero unless hardening is enabled).
 	FillRetries   uint64 // timed-out DRAM fills reissued
@@ -223,6 +224,12 @@ type walker struct {
 	spawned  sim.Cycle
 	isStore  bool
 	pipeline int32 // thread mode: pipeline index, else -1
+
+	// trapped marks a quiesced walker still draining outstanding fills;
+	// responded records that the origin request was already answered, so
+	// a later trap must not answer it twice.
+	trapped   bool
+	responded bool
 }
 
 type run struct {
@@ -274,6 +281,11 @@ type Controller struct {
 	fillFailure error     // a fill exhausted MaxFillRetries
 	cycWakes    int       // walker wake-ups this cycle (invariant: ≤ #Exe)
 	cycActions  int       // actions executed this cycle (invariant: ≤ #Exe)
+
+	// Trap state: the first structural microcode fault, and NotFound
+	// responses for quiesced walkers awaiting response-queue space.
+	trap      *Trap
+	trapResps []MetaResp
 }
 
 // fillRec tracks one outstanding DRAM fill for the timeout/retry path.
@@ -285,13 +297,33 @@ type fillRec struct {
 	retries int
 }
 
+// verifyConfig derives the static-verifier limits from an
+// already-defaulted controller configuration and its data RAM.
+func (cfg Config) verifyConfig(data *dataram.RAM) program.VerifyConfig {
+	vc := program.VerifyConfig{
+		NumXRegs:        cfg.NumXRegs,
+		MaxFillWords:    cfg.MaxFillWords,
+		MaxRoutineSteps: cfg.MaxRoutineSteps,
+		EnvSlots:        16,
+	}
+	if data != nil {
+		vc.DataSectors = data.Cfg.Sectors
+	}
+	return vc
+}
+
 // New wires a controller. memReq/memResp connect it to DRAM (or a lower
-// level); tags and data are the RAM arrays it manages.
+// level); tags and data are the RAM arrays it manages. The program is
+// statically verified against the configuration once, here at load time;
+// a rejected program never executes a cycle.
 func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
 	data *dataram.RAM, memReq *sim.Queue[dram.Request], memResp *sim.Queue[dram.Response],
-	meter *energy.Counters) *Controller {
+	meter *energy.Counters) (*Controller, error) {
 
 	cfg.defaults()
+	if err := program.Verify(prog, cfg.verifyConfig(data)); err != nil {
+		return nil, fmt.Errorf("ctrl: program rejected at load: %w", err)
+	}
 	c := &Controller{
 		Cfg:     cfg,
 		Prog:    prog,
@@ -314,7 +346,19 @@ func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
 		c.pipes[i] = -1
 	}
 	k.Add(c)
-	return c
+	return c, nil
+}
+
+// LoadProgram swaps in a new walker program, verifying it against the
+// controller's configuration first. The previous program (and any pending
+// trap) is kept on rejection.
+func (c *Controller) LoadProgram(p *program.Program) error {
+	if err := program.Verify(p, c.Cfg.verifyConfig(c.Data)); err != nil {
+		return fmt.Errorf("ctrl: program rejected at load: %w", err)
+	}
+	c.Prog = p
+	c.trap = nil
+	return nil
 }
 
 // SetEnv installs a DSA-specific environment operand (lde source).
@@ -323,17 +367,20 @@ func (c *Controller) SetEnv(i int, v uint64) { c.env[i] = v }
 // Stats returns a copy of the controller statistics.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// Idle reports whether no walkers, routines, queued work or hit returns
-// remain.
+// Idle reports whether no walkers, routines, queued work, hit returns or
+// deferred trap responses remain.
 func (c *Controller) Idle() bool {
 	return len(c.inflight) == 0 && len(c.replay) == 0 && len(c.hitPipe) == 0 &&
 		c.ReqQ.Len() == 0 && c.evq.Len() == 0 && c.outstandingFills == 0 &&
-		len(c.freeW) == len(c.walkers)
+		len(c.freeW) == len(c.walkers) && len(c.trapResps) == 0
 }
 
 // Tick implements sim.Component.
 func (c *Controller) Tick(cy sim.Cycle) {
 	c.cycWakes, c.cycActions = 0, 0
+	if len(c.trapResps) > 0 {
+		c.flushTrapResps()
+	}
 	c.drainHitPipe(cy)
 	c.acceptFills(cy)
 	if c.Cfg.FillTimeout > 0 {
@@ -421,11 +468,22 @@ func (c *Controller) acceptFills(cy sim.Cycle) {
 		}
 		w := &c.walkers[wid]
 		if !w.active {
-			panic(fmt.Sprintf("ctrl: fill for inactive walker %d", wid))
+			// A fill addressed to a freed walker means this package lost
+			// track of an MSHR — a simulator contract violation, not a
+			// program fault, so it stays a (typed) panic.
+			specBug("fill for inactive walker %d", wid)
 		}
 		c.MemResp.Pop()
 		c.outstandingFills--
 		w.fills--
+		if w.trapped {
+			// Quiesced walker draining: discard the data, free the context
+			// once the last outstanding fill lands.
+			if w.fills == 0 {
+				c.freeTrapped(w)
+			}
+			continue
+		}
 		if c.Meter != nil {
 			c.Meter.QueueBytes += uint64(len(resp.Data)) * 8
 		}
@@ -455,12 +513,12 @@ func (c *Controller) frontend(cy sim.Cycle) {
 			return
 		}
 		w := &c.walkers[i]
-		if !w.active || w.running || len(w.pending) == 0 {
+		if !w.active || w.trapped || w.running || len(w.pending) == 0 {
 			continue
 		}
 		w.msg = w.pending[0]
 		w.pending = w.pending[1:]
-		c.fire(w, w.msg.event)
+		c.fire(cy, w, w.msg.event)
 		budget--
 	}
 
@@ -472,7 +530,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 		}
 		w := &c.walkers[int32(m.addr)]
 		c.evq.Pop()
-		if !w.active {
+		if !w.active || w.trapped {
 			continue
 		}
 		if w.running {
@@ -480,7 +538,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 			continue
 		}
 		w.msg = m
-		c.fire(w, m.event)
+		c.fire(cy, w, m.event)
 		budget--
 	}
 
@@ -523,7 +581,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 		merged := false
 		for i := range c.walkers {
 			w := &c.walkers[i]
-			if w.active && c.keyEq(w.key, req.Key) {
+			if w.active && !w.trapped && c.keyEq(w.key, req.Key) {
 				if !c.merge(w, req, fromReplay) {
 					return
 				}
@@ -714,7 +772,8 @@ func (c *Controller) spawn(cy sim.Cycle, req MetaReq) {
 	if req.Op != MetaLoad {
 		ev = program.EvMetaStore
 	}
-	c.fire(w, ev)
+	w.msg = message{event: ev}
+	c.fire(cy, w, ev)
 }
 
 // scrubEntry releases the data sectors of a parity-corrupted meta-tag
@@ -727,17 +786,30 @@ func (c *Controller) scrubEntry(e *metatag.Entry) {
 	c.stats.ParityScrubs++
 }
 
-// fire starts the routine for (walker.state, event).
-func (c *Controller) fire(w *walker, event int) {
+// fire starts the routine for (walker.state, event). A (state, event)
+// pair with no routine traps and quiesces the walker: the static verifier
+// cannot rule out event deliveries the program never declared (a walker
+// can yield into a state that handles some events but not this one), so
+// this stays a runtime check.
+func (c *Controller) fire(cy sim.Cycle, w *walker, event int) {
 	pc, ok := c.Prog.Lookup(w.state, event)
 	if !ok {
-		panic(fmt.Sprintf("ctrl: program %s has no transition (%s, %s)",
-			c.Prog.Name, c.Prog.StateNames[w.state], c.Prog.EventNames[event]))
+		c.raise(cy, w, TrapMissingTransition, -1, 0,
+			fmt.Sprintf("no transition for event %s", eventName(c.Prog, event)))
+		return
 	}
 	w.running = true
 	c.cycWakes++
 	c.stats.RoutineRuns++
 	c.inflight = append(c.inflight, run{walker: w.id, start: pc, pc: pc})
+}
+
+// eventName renders an event id, tolerating out-of-table ids.
+func eventName(p *program.Program, ev int) string {
+	if ev >= 0 && ev < len(p.EventNames) {
+		return p.EventNames[ev]
+	}
+	return fmt.Sprintf("event%d", ev)
 }
 
 // backend executes up to #Exe actions across in-flight routines.
@@ -804,8 +876,12 @@ func (c *Controller) accumulateOccupancy() {
 // thread pipelines free, context returns to the pool.
 func (c *Controller) finish(w *walker, notFound bool) {
 	if w.fills != 0 || len(w.pending) != 0 {
-		panic(fmt.Sprintf("ctrl: walker %d finished with %d outstanding fills and %d pending messages (walker spec bug)",
-			w.id, w.fills, len(w.pending)))
+		// A program cannot reach this: fills are only issued by the routine
+		// that waits for them, and the front-end delivers every pending
+		// message before re-firing. Reaching it means this package broke
+		// the coroutine discipline — a simulator bug, kept as a typed panic.
+		specBug("walker %d finished with %d outstanding fills and %d pending messages",
+			w.id, w.fills, len(w.pending))
 	}
 	for _, waiter := range w.waiters {
 		if notFound {
@@ -948,6 +1024,9 @@ func (c *Controller) DiagnoseName() string { return "ctrl" }
 func (c *Controller) Diagnose() []string {
 	out := []string{fmt.Sprintf("%d/%d walkers active, %d routines in flight, %d replaying, %d fills outstanding, hit pipe %d",
 		len(c.walkers)-len(c.freeW), len(c.walkers), len(c.inflight), len(c.replay), c.outstandingFills, len(c.hitPipe))}
+	if c.trap != nil {
+		out = append(out, fmt.Sprintf("TRAP (%d total): %v", c.stats.Traps, c.trap))
+	}
 	for i := range c.walkers {
 		w := &c.walkers[i]
 		if !w.active {

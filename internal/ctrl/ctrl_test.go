@@ -88,7 +88,10 @@ func newRig(t *testing.T, cfg Config, spec program.Spec, tagCfg metatag.Config, 
 	meter := &energy.Counters{}
 	tags := metatag.New(tagCfg, meter)
 	data := dataram.New(dataCfg, meter)
-	c := New(k, cfg, prog, tags, data, d.Req, d.Resp, meter)
+	c, err := New(k, cfg, prog, tags, data, d.Req, d.Resp, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &rig{t: t, k: k, img: img, d: d, c: c, meter: meter}
 }
 

@@ -20,14 +20,26 @@ const (
 
 // step executes the single action at r.pc. The executor is in-order and
 // non-blocking: the only way a routine waits is a structural stall on a
-// full queue.
+// full queue. Structural faults — an out-of-range register, a runaway
+// routine, a data-RAM access outside the array — raise a typed Trap that
+// quiesces the walker instead of panicking; the static verifier rejects
+// most of them at load, but register-indirect values and loops are only
+// decidable here.
 func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 	w := &c.walkers[r.walker]
+	if r.pc < 0 || int(r.pc) >= len(c.Prog.Code) {
+		return c.trapStep(cy, r, w, TrapIllegalOp,
+			fmt.Sprintf("pc %d outside the %d-word microcode RAM", r.pc, len(c.Prog.Code)))
+	}
 	in := c.Prog.Code[r.pc]
 	r.steps++
 	if r.steps > c.Cfg.MaxRoutineSteps {
-		panic(fmt.Sprintf("ctrl: routine at %d exceeded %d steps (runaway microcode in %s)",
-			r.start, c.Cfg.MaxRoutineSteps, c.Prog.Name))
+		return c.trapStep(cy, r, w, TrapRunawayRoutine,
+			fmt.Sprintf("routine at %d exceeded %d steps", r.start, c.Cfg.MaxRoutineSteps))
+	}
+	if bad, which := regOOB(in, len(w.regs)); bad {
+		return c.trapStep(cy, r, w, TrapRegOOB,
+			fmt.Sprintf("%s outside the %d-entry X-register file", which, len(w.regs)))
 	}
 
 	// Microcode fetch energy (hardwired baselines have no routine RAM).
@@ -37,16 +49,10 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 	c.stats.Actions++
 	c.cycActions++
 
-	reg := func(i uint8) uint64 {
-		if int(i) >= len(w.regs) {
-			panic(fmt.Sprintf("ctrl: r%d out of range (%d X-registers)", i, len(w.regs)))
-		}
-		return w.regs[i]
-	}
+	// Register operands are bounds-checked once per action above (regOOB),
+	// so the accessors index directly.
+	reg := func(i uint8) uint64 { return w.regs[i] }
 	setReg := func(i uint8, v uint64) {
-		if int(i) >= len(w.regs) {
-			panic(fmt.Sprintf("ctrl: r%d out of range (%d X-registers)", i, len(w.regs)))
-		}
 		w.regs[i] = v
 		w.liveMask |= 1 << i
 		if c.Meter != nil {
@@ -107,7 +113,11 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 	case isa.OpMov:
 		setReg(in.Dst, reg(in.A))
 	case isa.OpLde:
-		setReg(in.Dst, c.env[in.Imm&15])
+		if in.Imm < 0 || int(in.Imm) >= len(c.env) {
+			return c.trapStep(cy, r, w, TrapImmRange,
+				fmt.Sprintf("environment operand %d out of range [0,%d)", in.Imm, len(c.env)))
+		}
+		setReg(in.Dst, c.env[in.Imm])
 	case isa.OpAllocR:
 		// allocR marks a register as walker state that must survive
 		// yields (§4.2: "routines allocate temporary X-register to store
@@ -124,17 +134,20 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			words = int(reg(in.A))
 		}
 		if words <= 0 || words > c.Cfg.MaxFillWords {
-			panic(fmt.Sprintf("ctrl: fill of %d words (MaxFillWords=%d)", words, c.Cfg.MaxFillWords))
+			return c.trapStep(cy, r, w, TrapFillOverflow,
+				fmt.Sprintf("fill of %d words (MaxFillWords=%d)", words, c.Cfg.MaxFillWords))
 		}
 		if !c.MemReq.CanPush() {
 			return stepStall
 		}
-		c.MemReq.MustPush(dram.Request{ID: uint64(w.id), Addr: reg(in.Dst), Words: words})
+		// The address bus is word-granular: low bits a routine computed into
+		// the address register are dropped, exactly as hardware would.
+		c.MemReq.MustPush(dram.Request{ID: uint64(w.id), Addr: reg(in.Dst) &^ 7, Words: words})
 		c.outstandingFills++
 		w.fills++
 		c.stats.FillsIssued++
 		if c.Cfg.FillTimeout > 0 {
-			c.fillTable = append(c.fillTable, fillRec{walker: w.id, addr: reg(in.Dst), words: words, issued: cy})
+			c.fillTable = append(c.fillTable, fillRec{walker: w.id, addr: reg(in.Dst) &^ 7, words: words, issued: cy})
 		}
 		if c.outstandingFills > c.stats.MaxFillsInFlight {
 			c.stats.MaxFillsInFlight = c.outstandingFills
@@ -145,16 +158,24 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			c.Meter.DRAMBytes += uint64(words) * 8
 		}
 	case isa.OpEnqWb:
+		words := int(in.Imm)
+		if words <= 0 || words > c.Cfg.MaxFillWords {
+			return c.trapStep(cy, r, w, TrapFillOverflow,
+				fmt.Sprintf("writeback of %d words (MaxFillWords=%d)", words, c.Cfg.MaxFillWords))
+		}
+		base := int32(reg(in.A))
+		if base < 0 || int(base)+words > c.Data.Words() {
+			return c.trapStep(cy, r, w, TrapDataOOB,
+				fmt.Sprintf("writeback source [%d,%d) outside the %d-word data RAM", base, int(base)+words, c.Data.Words()))
+		}
 		if !c.MemReq.CanPush() {
 			return stepStall
 		}
-		words := int(in.Imm)
-		base := int32(reg(in.A))
 		data := make([]uint64, words)
 		for i := range data {
 			data[i] = c.Data.Read(base + int32(i))
 		}
-		c.MemReq.MustPush(dram.Request{ID: wbIDFlag | uint64(w.id), Addr: reg(in.Dst),
+		c.MemReq.MustPush(dram.Request{ID: wbIDFlag | uint64(w.id), Addr: reg(in.Dst) &^ 7,
 			Words: words, Write: true, Data: data})
 		c.stats.WritebacksIssued++
 		if c.Meter != nil {
@@ -186,12 +207,17 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			c.stats.NotFound++
 		}
 		c.RespQ.MustPush(resp)
+		w.responded = true
 		c.stats.Responses++
 		c.noteLatency(w.origin, cy, false)
 		if c.Meter != nil {
 			c.Meter.QueueBytes += 16
 		}
 	case isa.OpEnqEv:
+		if in.Imm < 0 || int(in.Imm) >= c.Prog.NumEvents() {
+			return c.trapStep(cy, r, w, TrapImmRange,
+				fmt.Sprintf("event operand %d out of range [0,%d)", in.Imm, c.Prog.NumEvents()))
+		}
 		if !c.evq.CanPush() {
 			return stepStall
 		}
@@ -200,15 +226,18 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			c.Meter.QueueBytes += 8
 		}
 	case isa.OpPeek:
-		switch in.Imm {
-		case -1:
+		switch {
+		case in.Imm == -1:
 			setReg(in.Dst, w.msg.addr)
-		case -2:
+		case in.Imm == -2:
 			setReg(in.Dst, uint64(len(w.msg.data)))
+		case in.Imm < 0 || int(in.Imm) >= len(w.msg.data):
+			// A negative peek other than the -1/-2 pseudo-slots used to
+			// fall through to a raw negative slice index; both directions
+			// now trap.
+			return c.trapStep(cy, r, w, TrapPeekOOB,
+				fmt.Sprintf("peek %d beyond %d-word message", in.Imm, len(w.msg.data)))
 		default:
-			if int(in.Imm) >= len(w.msg.data) {
-				panic(fmt.Sprintf("ctrl: peek %d beyond %d-word message", in.Imm, len(w.msg.data)))
-			}
 			setReg(in.Dst, w.msg.data[in.Imm])
 		}
 	case isa.OpDeq:
@@ -217,6 +246,11 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 
 	// ---- Meta-tags ----
 	case isa.OpAllocM:
+		if w.entry != nil {
+			// A second allocm would double-allocate the key in the
+			// meta-tag array (which asserts on duplicates).
+			return c.trapStep(cy, r, w, TrapAllocOverflow, "duplicate allocm: walker already holds an entry")
+		}
 		if !c.MemReq.CanPush() {
 			return stepStall // a dirty victim may need a writeback slot
 		}
@@ -242,17 +276,28 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 		}
 	case isa.OpUpdate:
 		if w.entry == nil {
-			panic("ctrl: update with no meta-tag entry (missing allocm)")
+			return c.trapStep(cy, r, w, TrapMisalignedUpdate, "update with no meta-tag entry (missing allocm)")
 		}
 		wlen := int32(c.Data.Cfg.WordsPerSector)
 		base := int32(reg(in.Dst))
-		if base%wlen != 0 {
-			panic("ctrl: update base not sector aligned")
+		if base < 0 || base%wlen != 0 {
+			return c.trapStep(cy, r, w, TrapMisalignedUpdate,
+				fmt.Sprintf("update base %d not sector aligned (wlen=%d)", base, wlen))
+		}
+		count := int32(reg(in.A))
+		if count < 0 || int(base/wlen)+int(count) > c.Data.Cfg.Sectors {
+			return c.trapStep(cy, r, w, TrapDataOOB,
+				fmt.Sprintf("update sector run [%d,%d) outside the %d-sector data RAM",
+					base/wlen, int(base/wlen)+int(count), c.Data.Cfg.Sectors))
 		}
 		w.entry.SectorBase = base / wlen
-		w.entry.SectorCount = int32(reg(in.A))
+		w.entry.SectorCount = count
 		c.Tags.Update()
 	case isa.OpState:
+		if in.Imm < 0 || int(in.Imm) >= c.Prog.NumStates() {
+			return c.trapStep(cy, r, w, TrapImmRange,
+				fmt.Sprintf("state operand %d out of range [0,%d)", in.Imm, c.Prog.NumStates()))
+		}
 		c.setState(w, int(in.Imm))
 		w.running = false
 		// Yield: only allocr-marked registers survive; scratch registers
@@ -265,6 +310,10 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 		w.liveMask = w.persist
 		return stepDone
 	case isa.OpHalt:
+		if in.Imm < 0 || int(in.Imm) >= c.Prog.NumStates() {
+			return c.trapStep(cy, r, w, TrapImmRange,
+				fmt.Sprintf("state operand %d out of range [0,%d)", in.Imm, c.Prog.NumStates()))
+		}
 		c.setState(w, int(in.Imm))
 		if w.entry != nil {
 			w.entry.Walker = int32(-1)
@@ -315,10 +364,13 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 	case isa.OpAllocD, isa.OpAllocDI:
 		n := int(in.Imm)
 		if in.Op == isa.OpAllocD {
-			n = int(reg(in.A))
+			n = int(int64(reg(in.A)))
 		}
-		if n <= 0 {
-			panic(fmt.Sprintf("ctrl: allocd of %d sectors", n))
+		if n <= 0 || n > c.Data.Cfg.Sectors {
+			// An over-capacity request would replay forever (no eviction
+			// can ever make room), so it traps rather than livelocks.
+			return c.trapStep(cy, r, w, TrapAllocOverflow,
+				fmt.Sprintf("allocation of %d sectors (data RAM holds %d)", n, c.Data.Cfg.Sectors))
 		}
 		base, ok := c.Data.Alloc(n)
 		if !ok {
@@ -346,15 +398,55 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			w.entry.SectorBase, w.entry.SectorCount = 0, 0
 		}
 	case isa.OpReadD:
-		setReg(in.Dst, c.Data.Read(int32(reg(in.A))))
+		idx := int32(reg(in.A))
+		if idx < 0 || int(idx) >= c.Data.Words() {
+			return c.trapStep(cy, r, w, TrapDataOOB,
+				fmt.Sprintf("read of word %d outside the %d-word data RAM", idx, c.Data.Words()))
+		}
+		setReg(in.Dst, c.Data.Read(idx))
 	case isa.OpWriteD:
-		c.Data.Write(int32(reg(in.Dst)), reg(in.A))
+		idx := int32(reg(in.Dst))
+		if idx < 0 || int(idx) >= c.Data.Words() {
+			return c.trapStep(cy, r, w, TrapDataOOB,
+				fmt.Sprintf("write of word %d outside the %d-word data RAM", idx, c.Data.Words()))
+		}
+		c.Data.Write(idx, reg(in.A))
 
 	default:
-		panic(fmt.Sprintf("ctrl: unimplemented op %s", in.Op.Name()))
+		return c.trapStep(cy, r, w, TrapIllegalOp, fmt.Sprintf("undefined or unimplemented op %s", in.Op.Name()))
 	}
 	r.pc++
 	return stepAgain
+}
+
+// regOOB reports whether any register operand the op's shape actually
+// uses indexes beyond the nx-entry X-register file. Unused fields carry
+// don't-care bits from decode and are ignored.
+func regOOB(in isa.Instr, nx int) (bool, string) {
+	chk := func(name string, r uint8) (bool, string) {
+		if int(r) >= nx {
+			return true, fmt.Sprintf("%s=r%d", name, r)
+		}
+		return false, ""
+	}
+	switch in.Op.OpShape() {
+	case isa.ShapeR, isa.ShapeRI, isa.ShapeRL:
+		return chk("dst", in.Dst)
+	case isa.ShapeRR, isa.ShapeRRI, isa.ShapeRRL:
+		if bad, which := chk("dst", in.Dst); bad {
+			return bad, which
+		}
+		return chk("a", in.A)
+	case isa.ShapeRRR:
+		if bad, which := chk("dst", in.Dst); bad {
+			return bad, which
+		}
+		if bad, which := chk("a", in.A); bad {
+			return bad, which
+		}
+		return chk("b", in.B)
+	}
+	return false, ""
 }
 
 func (c *Controller) chargeALU(add, mul, bit, shift uint64) {

@@ -204,7 +204,10 @@ func TestPeekSpecialIndices(t *testing.T) {
 	}
 }
 
-func TestRunawayMicrocodePanics(t *testing.T) {
+func TestRunawayMicrocodeTraps(t *testing.T) {
+	// An infinite microcode loop must not panic (PR 5): the walker traps
+	// with runaway-routine, the origin still gets a NotFound response, and
+	// the controller drains back to idle.
 	spec := program.Spec{
 		Name: "runaway",
 		Transitions: []program.Transition{
@@ -212,13 +215,25 @@ func TestRunawayMicrocodePanics(t *testing.T) {
 		},
 	}
 	r := newRig(t, Config{MaxRoutineSteps: 64}, spec, defaultTagCfg(), defaultDataCfg())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected runaway panic")
-		}
-	}()
-	r.issue(MetaLoad, 1, 0)
-	r.k.Run(1000)
+	id := r.issue(MetaLoad, 1, 0)
+	resp := r.await(1)[id]
+	if resp.Status != program.StatusNotFound {
+		t.Fatalf("trapped walker answered %+v, want NOTFOUND", resp)
+	}
+	tr := r.c.Trap()
+	if tr == nil || tr.Kind != TrapRunawayRoutine {
+		t.Fatalf("trap = %v, want runaway-routine", tr)
+	}
+	if tr.Program != "runaway" || tr.Cycle == 0 {
+		t.Fatalf("trap context incomplete: %+v", tr)
+	}
+	if got := r.c.Stats().Traps; got != 1 {
+		t.Fatalf("trap count %d, want 1", got)
+	}
+	r.k.Run(100)
+	if !r.c.Idle() {
+		t.Fatal("controller wedged after trap")
+	}
 }
 
 func TestWaiterBackpressure(t *testing.T) {

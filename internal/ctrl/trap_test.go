@@ -1,0 +1,326 @@
+package ctrl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xcache/internal/isa"
+	"xcache/internal/program"
+)
+
+// respondSpec answers every miss immediately; its routine is the mutation
+// target for the statically-rejectable trap kinds.
+func respondSpec() program.Spec {
+	return program.Spec{
+		Name: "respond",
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: "li r9, 0\nallocm\nenqresp r9, OK\nabort"},
+		},
+	}
+}
+
+// fillSpec issues a 1-word fill and runs body on the Fill wake.
+func fillSpec(body string) program.Spec {
+	return program.Spec{
+		Name:   "filltrap",
+		States: []string{"W"},
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocm
+				lde r4, e0
+				enqfilli r4, 1
+				state W`},
+			{State: "W", Event: "Fill", Asm: body},
+		},
+	}
+}
+
+// metaLoadStart locates the (Default, MetaLoad) routine entry point.
+func metaLoadStart(t *testing.T, p *program.Program) int32 {
+	t.Helper()
+	pc, ok := p.Lookup(program.StateInvalid, program.EvMetaLoad)
+	if !ok {
+		t.Fatal("no MetaLoad routine")
+	}
+	return pc
+}
+
+// TestTrapMatrix drives every TrapKind through a live controller and
+// asserts the uniform quiesce contract: the origin request is answered
+// NotFound, the trap records the right kind, the controller drains back
+// to idle (nothing wedges, no watchdog would fire), and the machine keeps
+// serving requests afterwards.
+//
+// Kinds the load-time verifier would reject (illegal-op, reg-oob,
+// imm-range) are provoked by mutating the already-loaded program —
+// modelling a bit-flipped microcode word — to prove the runtime backstop
+// stands on its own.
+func TestTrapMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		kind   TrapKind
+		cfg    Config
+		spec   program.Spec
+		mutate func(t *testing.T, p *program.Program)
+		env    bool // point e0 at a mapped DRAM word
+	}{
+		{name: "illegal_op", kind: TrapIllegalOp, spec: respondSpec(),
+			mutate: func(t *testing.T, p *program.Program) {
+				p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.Op(60)}
+			}},
+		{name: "pc_escape", kind: TrapIllegalOp, spec: respondSpec(),
+			mutate: func(t *testing.T, p *program.Program) {
+				p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpJmp, Imm: 3000}
+			}},
+		{name: "reg_oob", kind: TrapRegOOB, spec: respondSpec(),
+			mutate: func(t *testing.T, p *program.Program) {
+				p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpInc, Dst: 25}
+			}},
+		{name: "imm_range_env", kind: TrapImmRange, spec: respondSpec(),
+			mutate: func(t *testing.T, p *program.Program) {
+				p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpLde, Dst: 4, Imm: 20}
+			}},
+		{name: "imm_range_state", kind: TrapImmRange, spec: respondSpec(),
+			mutate: func(t *testing.T, p *program.Program) {
+				p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpState, Imm: 99}
+			}},
+		{name: "peek_oob", kind: TrapPeekOOB, env: true,
+			// The fill returned 1 word; peek 3 passes the verifier (which
+			// bounds peeks by MaxFillWords) but overruns the live message.
+			spec: fillSpec("peek r5, 3\nenqresp r5, OK\nabort")},
+		{name: "fill_overflow", kind: TrapFillOverflow, spec: program.Spec{
+			Name: "bigfill",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					allocm
+					li r5, 100
+					enqfill r4, r5
+					halt Valid`},
+			}}},
+		{name: "misaligned_update", kind: TrapMisalignedUpdate, spec: program.Spec{
+			Name: "misalign",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					allocm
+					allocdi r7, 1
+					inc r7
+					li r8, 1
+					update r7, r8
+					enqresp r8, OK
+					halt Valid`},
+			}}},
+		{name: "update_without_allocm", kind: TrapMisalignedUpdate, spec: program.Spec{
+			Name: "noentry",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					li r7, 0
+					li r8, 1
+					update r7, r8
+					enqresp r8, OK
+					abort`},
+			}}},
+		{name: "runaway_routine", kind: TrapRunawayRoutine,
+			cfg: Config{MaxRoutineSteps: 64}, spec: program.Spec{
+				Name: "runaway",
+				Transitions: []program.Transition{
+					{State: "Default", Event: "MetaLoad", Asm: "top: inc r5\njmp top\nhalt Valid"},
+				}}},
+		{name: "missing_transition", kind: TrapMissingTransition, env: true,
+			// State W only handles the custom Kick event; the fill's wake
+			// finds no (W, Fill) routine.
+			spec: program.Spec{
+				Name:   "nofill",
+				States: []string{"W"},
+				Events: []string{"Kick"},
+				Transitions: []program.Transition{
+					{State: "Default", Event: "MetaLoad", Asm: `
+						allocm
+						lde r4, e0
+						enqfilli r4, 1
+						state W`},
+					{State: "W", Event: "Kick", Asm: "li r9, 0\nenqresp r9, OK\nabort"},
+				}}},
+		{name: "alloc_overflow_duplicate_allocm", kind: TrapAllocOverflow, spec: program.Spec{
+			Name: "dupalloc",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					allocm
+					allocm
+					enqresp r9, OK
+					abort`},
+			}}},
+		{name: "alloc_overflow_capacity", kind: TrapAllocOverflow, spec: program.Spec{
+			Name: "bigalloc",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					allocm
+					li r5, 10000
+					allocd r7, r5
+					enqresp r7, OK
+					abort`},
+			}}},
+		{name: "data_oob", kind: TrapDataOOB, spec: program.Spec{
+			Name: "wild",
+			Transitions: []program.Transition{
+				{State: "Default", Event: "MetaLoad", Asm: `
+					allocm
+					li r6, 30000
+					li r5, 1
+					writed r6, r5
+					enqresp r5, OK
+					abort`},
+			}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := newRig(t, c.cfg, c.spec, defaultTagCfg(), defaultDataCfg())
+			if c.mutate != nil {
+				c.mutate(t, r.c.Prog)
+			}
+			if c.env {
+				base := r.img.AllocWords(4)
+				r.c.SetEnv(0, base)
+			}
+			id := r.issue(MetaLoad, 1, 0)
+			resp := r.await(1)[id]
+			if resp.Status != program.StatusNotFound {
+				t.Fatalf("trapped walker answered %+v, want NOTFOUND", resp)
+			}
+			tr := r.c.Trap()
+			if tr == nil {
+				t.Fatal("no trap recorded")
+			}
+			if tr.Kind != c.kind {
+				t.Fatalf("trap kind %s, want %s (%v)", tr.Kind, c.kind, tr)
+			}
+			if !strings.Contains(tr.Error(), c.kind.String()) {
+				t.Fatalf("trap error %q missing kind name", tr.Error())
+			}
+			// The walker quiesced: the controller drains to idle instead of
+			// wedging (a watchdog would stay silent — progress never stops).
+			r.k.Run(200)
+			if !r.c.Idle() {
+				t.Fatalf("controller wedged after trap: %v", r.c.Diagnose())
+			}
+			if r.c.Tags.Live() != 0 {
+				t.Fatal("trap leaked a live meta-tag entry")
+			}
+			// The machine still serves requests after the trap.
+			id2 := r.issue(MetaLoad, 2, 0)
+			if _, ok := r.await(1)[id2]; !ok {
+				t.Fatal("no response after trap")
+			}
+			if r.c.Stats().Traps == 0 {
+				t.Fatal("trap not counted")
+			}
+		})
+	}
+}
+
+// TestTrapMalformedBinaryRegression pins the fuzz-found crash class that
+// motivated PR 5: a binary whose Fill routine peeks a negative slot other
+// than the -1/-2 pseudo-slots used to drive a raw negative slice index —
+// a panic — straight through the executor. Now the verifier rejects the
+// binary at load, and the runtime backstop (for a word corrupted after
+// load) raises a typed peek-oob trap instead of panicking.
+func TestTrapMalformedBinaryRegression(t *testing.T) {
+	spec := fillSpec("peek r5, 0\nenqresp r5, OK\nabort")
+	p, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the peek slot to -3 and round-trip through the binary
+	// format, exactly as a fuzzed .xbin would arrive.
+	for pc, in := range p.Code {
+		if in.Op == isa.OpPeek {
+			p.Code[pc].Imm = -3
+		}
+	}
+	bin, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q program.Program
+	if err := q.UnmarshalBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1: the verifier rejects the binary at load...
+	verr := program.Verify(&q, program.DefaultVerifyConfig())
+	if verr == nil {
+		t.Fatal("verifier accepted the malformed binary")
+	}
+	var ve *program.VerifyError
+	if !errors.As(verr, &ve) || !strings.Contains(ve.Reason, "peek") {
+		t.Fatalf("wrong rejection: %v", verr)
+	}
+	// ...so LoadProgram refuses it end-to-end.
+	r := newRig(t, Config{}, fillSpec("peek r5, 0\nenqresp r5, OK\nabort"),
+		defaultTagCfg(), defaultDataCfg())
+	if err := r.c.LoadProgram(&q); err == nil {
+		t.Fatal("LoadProgram accepted the malformed binary")
+	}
+
+	// Layer 2: even with the verifier bypassed (word corrupted after
+	// load), execution traps instead of panicking.
+	for pc, in := range r.c.Prog.Code {
+		if in.Op == isa.OpPeek {
+			r.c.Prog.Code[pc].Imm = -3
+		}
+	}
+	base := r.img.AllocWords(4)
+	r.c.SetEnv(0, base)
+	id := r.issue(MetaLoad, 1, 0)
+	resp := r.await(1)[id]
+	if resp.Status != program.StatusNotFound {
+		t.Fatalf("got %+v, want NOTFOUND", resp)
+	}
+	if tr := r.c.Trap(); tr == nil || tr.Kind != TrapPeekOOB {
+		t.Fatalf("trap = %v, want peek-oob", r.c.Trap())
+	}
+}
+
+// TestLoadProgramSwapsAndReverifies pins the dynamic-reload path: a good
+// program swaps in (clearing any previous trap), a bad one is rejected
+// and leaves the current program in place.
+func TestLoadProgramSwapsAndReverifies(t *testing.T) {
+	r := newRig(t, Config{}, arrayWalkSpec(), defaultTagCfg(), defaultDataCfg())
+	good, err := respondSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.c.LoadProgram(good); err != nil {
+		t.Fatal(err)
+	}
+	if r.c.Prog.Name != "respond" {
+		t.Fatal("program not swapped")
+	}
+	bad, err := respondSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Code[0] = isa.Instr{Op: isa.Op(60)}
+	if err := r.c.LoadProgram(bad); err == nil {
+		t.Fatal("LoadProgram accepted a bad program")
+	}
+	if r.c.Prog.Name != "respond" || r.c.Prog.Code[0].Op == isa.Op(60) {
+		t.Fatal("rejected load clobbered the running program")
+	}
+}
+
+// TestSpecBugPanicsStayPanics pins that the simulator-contract asserts
+// remain loud: a fill addressed to an inactive walker is a bug in this
+// package, not a program fault, and must panic with a typed SpecBug.
+func TestSpecBugPanicsStayPanics(t *testing.T) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected SpecBug panic")
+		}
+		if _, ok := rec.(*SpecBug); !ok {
+			t.Fatalf("panic value %T, want *SpecBug", rec)
+		}
+	}()
+	specBug("synthetic contract violation %d", 7)
+}

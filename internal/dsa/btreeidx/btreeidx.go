@@ -235,6 +235,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	if ok, rep := check.Run(h, k, func() bool { return done == len(trace) }, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("btree xcache: aborted at %d/%d: %w", done, len(trace), rep.Failure())
 	}
+	if t := xc.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("btree xcache: %w", t)
+	}
 	cst := xc.Ctrl.Stats()
 	return dsa.Result{
 		DSA: "BTreeIdx", Workload: "zipf", Kind: dsa.KindXCache,

@@ -194,7 +194,9 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 	if err != nil {
 		return dsa.Result{}, err
 	}
-	sys.Cache.Ctrl.Prog = prog
+	if err := sys.Cache.Ctrl.LoadProgram(prog); err != nil {
+		return dsa.Result{}, fmt.Errorf("dasx xcache: %w", err)
+	}
 	sys.Cache.SetEnv(0, ix.Table)
 	sys.Cache.SetEnv(1, hashidx.HashMul)
 
@@ -204,6 +206,9 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("dasx xcache: aborted at %d/%d: %w", dp.done, len(trace), rep.Failure())
+	}
+	if t := sys.Cache.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("dasx xcache: %w", t)
 	}
 	st := sys.Snapshot()
 	return dsa.Result{

@@ -418,6 +418,9 @@ func run(w Work, opt Options, hardwired bool) (dsa.Result, error) {
 	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("graphpulse: aborted in superstep %d: %w", e.ss, rep.Failure())
 	}
+	if t := sys.Cache.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("graphpulse: %w", t)
+	}
 
 	ref, _ := graph.DeltaPageRank(g, graph.PageRankParams{Damping: opt.Damping, Eps: w.Eps, MaxIter: w.MaxSS})
 	checked := true
@@ -664,6 +667,9 @@ func RunSSSP(w Work, opt Options, src int) (dsa.Result, error) {
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return e.done }, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("graphpulse sssp: aborted in superstep %d: %w", e.ss, rep.Failure())
+	}
+	if t := sys.Cache.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("graphpulse sssp: %w", t)
 	}
 
 	ref := graph.BFS(g, src)

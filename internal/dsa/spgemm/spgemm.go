@@ -396,6 +396,9 @@ func runX(alg Algorithm, w Work, opt Options, hardwired bool) (dsa.Result, error
 	if ok, rep := check.Run(h, sys.K, dp.finished, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("%s xcache: aborted at %d/%d rows: %w", alg, dp.done, len(sched), rep.Failure())
 	}
+	if t := sys.Cache.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("%s xcache: %w", alg, t)
+	}
 	st := sys.Snapshot()
 	kind := dsa.KindXCache
 	if hardwired {

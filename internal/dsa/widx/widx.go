@@ -198,7 +198,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 		return dsa.Result{}, err
 	}
 	ix, trace := BuildWorkload(w, sys.Img)
-	sys.Cache.Ctrl.Prog = mustProg(Spec(ix.Shift))
+	if err := sys.Cache.Ctrl.LoadProgram(mustProg(Spec(ix.Shift))); err != nil {
+		return dsa.Result{}, fmt.Errorf("widx xcache: %w", err)
+	}
 	sys.Cache.SetEnv(0, ix.Table)
 	sys.Cache.SetEnv(1, hashidx.HashMul)
 
@@ -208,6 +210,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	h := check.Attach(sys.K, opt.Check)
 	if ok, rep := check.Run(h, sys.K, func() bool { return dp.done == len(trace) }, opt.MaxCycles); !ok {
 		return dsa.Result{}, fmt.Errorf("widx xcache: aborted at %d/%d probes: %w", dp.done, len(trace), rep.Failure())
+	}
+	if t := sys.Cache.Ctrl.Trap(); t != nil {
+		return dsa.Result{}, fmt.Errorf("widx xcache: %w", t)
 	}
 	st := sys.Snapshot()
 	return dsa.Result{

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xcache/internal/check"
+	"xcache/internal/ctrl"
 )
 
 // Class splits the failure taxonomy into the two retry policies: a
@@ -47,6 +48,7 @@ const (
 	FailDeadline           // per-spec wall deadline exceeded
 	FailCanceled           // context canceled before/while the spec ran
 	FailSpec               // malformed spec: unknown DSA, workload, or kind
+	FailTrap               // structural microcode trap (check.FailTrap / ctrl.Trap)
 )
 
 // String names the kind for logs, stats and JSON output.
@@ -68,6 +70,8 @@ func (k FailKind) String() string {
 		return "canceled"
 	case FailSpec:
 		return "spec"
+	case FailTrap:
+		return "trap"
 	}
 	return fmt.Sprintf("unknown(%d)", int(k))
 }
@@ -137,6 +141,7 @@ func classify(s Spec, err error, attempts int) *RunError {
 	re := &RunError{Key: s.Key(), Attempts: attempts, Err: err, Class: Permanent}
 
 	var cf *check.Failure
+	var trap *ctrl.Trap
 	switch {
 	case errors.As(err, &cf):
 		re.Report = cf.Report
@@ -149,10 +154,18 @@ func classify(s Spec, err error, attempts int) *RunError {
 			re.Kind = FailOverflow
 		case check.FailBudget:
 			re.Kind = FailBudget
+		case check.FailTrap:
+			re.Kind = FailTrap
 		}
-		if s.Faults.Any() {
+		// A trap is a pure function of the loaded program — injected DRAM
+		// and queue faults never corrupt microcode — so unlike the other
+		// supervised kinds it is permanent even under fault injection.
+		if s.Faults.Any() && cf.Kind != check.FailTrap {
 			re.Class = Transient
 		}
+	case errors.As(err, &trap):
+		// An unsupervised run surfaced the controller's trap directly.
+		re.Kind = FailTrap
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		re.Kind = FailCanceled
 	default:

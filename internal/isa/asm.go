@@ -87,6 +87,9 @@ func Assemble(src string, syms map[string]int64) ([]Instr, error) {
 		}
 		parseLabel := func(s string) error {
 			if v, err := immValue(s, syms); err == nil {
+				if v < ImmMin || v > ImmMax {
+					return fmt.Errorf("line %d: branch target %d out of range", lineNo+1, v)
+				}
 				in.Imm = int32(v)
 				return nil
 			}
@@ -145,6 +148,9 @@ func Assemble(src string, syms map[string]int64) ([]Instr, error) {
 		target, ok := labels[f.label]
 		if !ok {
 			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		if target > ImmMax {
+			return nil, fmt.Errorf("line %d: label %q target %d out of immediate range", f.line, f.label, target)
 		}
 		prog[f.instr].Imm = int32(target)
 	}

@@ -43,7 +43,7 @@ func TestEveryOpAssembles(t *testing.T) {
 			t.Errorf("%s assembled to %s", op.Name(), prog[0].Op.Name())
 		}
 		// Encode/decode round trip.
-		got := Decode(prog[0].Encode())
+		got := Decode(prog[0].MustEncode())
 		if got.Op != op {
 			t.Errorf("%s: encode/decode changed op to %s", op.Name(), got.Op.Name())
 		}
@@ -56,7 +56,7 @@ func TestEveryOpAssembles(t *testing.T) {
 			t.Errorf("%s: disassembly %q did not re-assemble: %v", op.Name(), dis, err)
 			continue
 		}
-		if prog2[0].Encode() != prog[0].Encode() {
+		if prog2[0].MustEncode() != prog[0].MustEncode() {
 			t.Errorf("%s: disassembly round trip %q changed encoding", op.Name(), dis)
 		}
 	}
@@ -125,7 +125,7 @@ func TestWordBytesMatchesEncoding(t *testing.T) {
 	if WordBytes != 4 {
 		t.Fatalf("WordBytes %d; encoding is 32-bit", WordBytes)
 	}
-	var w interface{} = Instr{Op: OpAdd}.Encode()
+	var w interface{} = Instr{Op: OpAdd}.MustEncode()
 	if _, ok := w.(uint32); !ok {
 		t.Fatalf("encoding is %T, want uint32", w)
 	}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecode pins the decoder's total-function contract: any 32-bit word
+// decodes without panicking, renders without panicking, and — whenever
+// the decoded instruction re-encodes (i.e. its opcode is defined) — the
+// decode→encode→decode round trip is a fixed point. Decode clamps every
+// field into its operand domain (5-bit registers, 16-bit immediate), so
+// the only legal Encode failure on a decoded instruction is an undefined
+// opcode.
+func FuzzDecode(f *testing.F) {
+	for op := Op(1); op < opMax; op++ {
+		in := Instr{Op: op, Dst: 3, A: 7}
+		if op.OpShape() == ShapeRRR {
+			in.B = 9
+		} else {
+			in.Imm = -5
+		}
+		f.Add(in.MustEncode())
+	}
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Add(uint32(0xffff))
+	f.Add(uint32(63) << 26) // highest (undefined) opcode
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := Decode(w)
+		_ = in.String()
+		word, err := in.Encode()
+		if err != nil {
+			if in.Op.Valid() {
+				t.Fatalf("decoded instruction %s does not re-encode: %v", in, err)
+			}
+			return
+		}
+		if again := Decode(word); again != in {
+			t.Fatalf("decode→encode→decode unstable: %+v vs %+v (word %08x)", in, again, w)
+		}
+	})
+}
+
+// FuzzAssemble pins the assembler's contract: arbitrary source never
+// panics, and everything it accepts encodes into real microcode words —
+// an assembled instruction that cannot encode (e.g. a numeric branch
+// target outside the 16-bit immediate) is an assembler bug, caught here.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"allocm\nhalt Valid",
+		"lde r4, e0\nshl r5, r1, 3\nadd r5, r4, r5\nenqfilli r5, 1\nstate WAIT",
+		"top:\n  dec r2\n  bnz r2, top\n  beq r1, r3, done\n  jmp top\ndone:\n  halt VALID",
+		"peek r6, 0 ; comment\nallocdi r7, 1\nwrited r7, r6\nli r8, 1\nupdate r7, r8\nenqresp r6, OK\nabort",
+		"jmp 99999",     // out-of-immediate numeric branch target
+		"li r1, -40000", // out-of-range immediate
+		"9bad: add r1, r2, r3",
+		"x: x: inc r1",
+		"li r40, 1",
+		"enqfill r4, r5\nenqwb r4, r5, 2\nenqev 1\ndeq",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	syms := map[string]int64{"Valid": 1, "VALID": 1, "WAIT": 2, "OK": 0, "NOTFOUND": 1}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src, syms)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") && !strings.Contains(err.Error(), "label") {
+				t.Fatalf("assembler error without location context: %v", err)
+			}
+			return
+		}
+		for pc, in := range prog {
+			if _, err := in.Encode(); err != nil {
+				t.Fatalf("assembled pc %d (%s) does not encode: %v", pc, in, err)
+			}
+		}
+		_ = Disassemble(prog)
+	})
+}

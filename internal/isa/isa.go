@@ -238,21 +238,53 @@ const (
 	ImmMax = 32767
 )
 
+// Valid reports whether o names a defined action (OpInvalid excluded).
+func (o Op) Valid() bool {
+	return o > OpInvalid && o < opMax && opTable[o].name != ""
+}
+
+// EncodeError reports why an instruction cannot be packed into a
+// microcode word: an undefined op or an immediate outside the 16-bit
+// signed field.
+type EncodeError struct {
+	Instr  Instr
+	Reason string
+}
+
+// Error implements error.
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %s: %s", e.Instr.Op.Name(), e.Reason)
+}
+
 // Encode packs the instruction into a 32-bit microcode word:
 //
 //	[31:26] op  [25:21] dst  [20:16] a  [15:0] imm (or b in [4:0] for RRR)
-func (i Instr) Encode() uint32 {
-	if i.Op >= opMax {
-		panic(fmt.Sprintf("isa: cannot encode op %d", i.Op))
+//
+// It returns an *EncodeError for an undefined op or an immediate outside
+// [ImmMin, ImmMax]; it never panics.
+func (i Instr) Encode() (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, &EncodeError{Instr: i, Reason: fmt.Sprintf("undefined op %d", i.Op)}
 	}
 	if i.Imm < ImmMin || i.Imm > ImmMax {
-		panic(fmt.Sprintf("isa: immediate %d out of range in %s", i.Imm, i.Op.Name()))
+		return 0, &EncodeError{Instr: i, Reason: fmt.Sprintf("immediate %d out of range", i.Imm)}
 	}
 	w := uint32(i.Op)<<26 | uint32(i.Dst&0x1f)<<21 | uint32(i.A&0x1f)<<16
 	if i.Op.OpShape() == ShapeRRR {
 		w |= uint32(i.B & 0x1f)
 	} else {
 		w |= uint32(uint16(int16(i.Imm)))
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known valid by construction
+// (compiler-emitted code); it panics on the error path and is the only
+// panic left in this package.
+func (i Instr) MustEncode() uint32 {
+	w, err := i.Encode()
+	if err != nil {
+		panic(err)
 	}
 	return w
 }

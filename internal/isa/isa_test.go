@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -8,15 +9,21 @@ import (
 )
 
 func TestEncodeDecodeRoundTripAllOps(t *testing.T) {
+	// Every op × the corner immediates of the 16-bit field (RRR ops carry
+	// B instead). Exhaustive over the opcode space, so a new op with a
+	// broken shape entry fails here before anything executes it.
+	imms := []int32{0, 1, -1, ImmMin, ImmMax}
 	for op := Op(1); op < opMax; op++ {
-		in := Instr{Op: op, Dst: 3, A: 7, Imm: -5}
-		if op.OpShape() == ShapeRRR {
-			in.Imm = 0
-			in.B = 9
-		}
-		got := Decode(in.Encode())
-		if got.Op != in.Op || got.Dst != in.Dst || got.A != in.A || got.B != in.B || got.Imm != in.Imm {
-			t.Errorf("%s: round trip %+v -> %+v", op.Name(), in, got)
+		for _, imm := range imms {
+			in := Instr{Op: op, Dst: 3, A: 7, Imm: imm}
+			if op.OpShape() == ShapeRRR {
+				in.Imm = 0
+				in.B = 9
+			}
+			got := Decode(in.MustEncode())
+			if got.Op != in.Op || got.Dst != in.Dst || got.A != in.A || got.B != in.B || got.Imm != in.Imm {
+				t.Errorf("%s imm=%d: round trip %+v -> %+v", op.Name(), imm, in, got)
+			}
 		}
 	}
 }
@@ -30,7 +37,7 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		} else {
 			in.Imm = int32(imm)
 		}
-		got := Decode(in.Encode())
+		got := Decode(in.MustEncode())
 		return got.Op == in.Op && got.Dst == in.Dst && got.A == in.A &&
 			got.B == in.B && got.Imm == in.Imm
 	}
@@ -41,12 +48,28 @@ func TestEncodeDecodeProperty(t *testing.T) {
 }
 
 func TestImmediateRangeEnforced(t *testing.T) {
+	bad := Instr{Op: OpAddi, Imm: 40000}
+	if _, err := bad.Encode(); err == nil {
+		t.Fatal("expected error for out-of-range immediate")
+	} else {
+		var ee *EncodeError
+		if !errors.As(err, &ee) || !strings.Contains(ee.Error(), "out of range") {
+			t.Fatalf("wrong error: %v", err)
+		}
+	}
+	if _, err := (Instr{Op: OpInvalid}).Encode(); err == nil {
+		t.Fatal("expected error for invalid opcode")
+	}
+	if _, err := (Instr{Op: opMax}).Encode(); err == nil {
+		t.Fatal("expected error for out-of-table opcode")
+	}
+	// MustEncode keeps the panic contract for known-good code paths.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for out-of-range immediate")
+			t.Fatal("expected MustEncode panic for out-of-range immediate")
 		}
 	}()
-	Instr{Op: OpAddi, Imm: 40000}.Encode()
+	bad.MustEncode()
 }
 
 func TestCategories(t *testing.T) {

@@ -54,8 +54,12 @@ func (p *Program) MarshalBinary() ([]byte, error) {
 		}
 	}
 	w(uint32(len(p.Code)))
-	for _, in := range p.Code {
-		w(in.Encode())
+	for pc, in := range p.Code {
+		word, err := in.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("program: code[%d]: %w", pc, err)
+		}
+		w(word)
 	}
 	return b.Bytes(), nil
 }

@@ -25,7 +25,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("code length %d vs %d", len(q.Code), len(p.Code))
 	}
 	for i := range p.Code {
-		if q.Code[i].Encode() != p.Code[i].Encode() {
+		if q.Code[i].MustEncode() != p.Code[i].MustEncode() {
 			t.Fatalf("code[%d] differs: %s vs %s", i, q.Code[i], p.Code[i])
 		}
 	}

@@ -1,0 +1,51 @@
+package program_test
+
+import (
+	"testing"
+
+	"xcache/internal/core"
+	"xcache/internal/dsa/btreeidx"
+	"xcache/internal/dsa/dasx"
+	"xcache/internal/dsa/graphpulse"
+	"xcache/internal/dsa/spgemm"
+	"xcache/internal/dsa/widx"
+	"xcache/internal/program"
+)
+
+// TestVerifyAllDSAPrograms pins that every shipped walker program passes
+// the static verifier under its own design point's limits — the same
+// check ctrl.New runs at load, asserted here directly so a verifier
+// regression names the program instead of failing some simulation far
+// downstream.
+func TestVerifyAllDSAPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		spec program.Spec
+		cfg  core.Config
+	}{
+		{"widx", widx.Spec(56), core.WidxConfig()},
+		{"dasx", dasx.Spec(56), core.DASXConfig()},
+		{"sparch", spgemm.Spec(), core.SpArchConfig()},
+		{"gamma", spgemm.Spec(), core.GammaConfig()},
+		{"graphpulse", graphpulse.Spec(), core.GraphPulseConfig()},
+		{"btreeidx", btreeidx.Spec(), btreeidx.Config()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vcfg := program.DefaultVerifyConfig()
+			if c.cfg.MaxFillWords > 0 {
+				vcfg.MaxFillWords = c.cfg.MaxFillWords
+			}
+			if c.cfg.NumXRegs > 0 {
+				vcfg.NumXRegs = c.cfg.NumXRegs
+			}
+			if err := program.Verify(p, vcfg); err != nil {
+				t.Fatalf("%s rejected by the verifier: %v", c.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"xcache/internal/isa"
+)
+
+// compileToy compiles minimalSpec and fails the test on error.
+func compileToy(t *testing.T) *Program {
+	t.Helper()
+	p, err := minimalSpec().Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// findOp returns the index of the first instruction with the given op.
+func findOp(t *testing.T, p *Program, op isa.Op) int {
+	t.Helper()
+	for pc, in := range p.Code {
+		if in.Op == op {
+			return pc
+		}
+	}
+	t.Fatalf("no %s in program", op.Name())
+	return -1
+}
+
+func TestVerifyAcceptsCompiledProgram(t *testing.T) {
+	p := compileToy(t)
+	if err := Verify(p, DefaultVerifyConfig()); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	// The zero config resolves to the defaults.
+	if err := Verify(p, VerifyConfig{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}
+
+func TestVerifyCallsCounter(t *testing.T) {
+	p := compileToy(t)
+	before := VerifyCalls()
+	_ = Verify(p, VerifyConfig{})
+	_ = Verify(p, VerifyConfig{})
+	if got := VerifyCalls() - before; got != 2 {
+		t.Fatalf("VerifyCalls delta %d, want 2", got)
+	}
+}
+
+// TestVerifyRejections drives every verifier check through a mutated
+// program and pins the rejection reason. Mutation (rather than source
+// assembly) is used where the compiler would reject the construct first —
+// the verifier must also stand alone against binaries that never went
+// through Compile.
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, p *Program)
+		cfg    VerifyConfig
+		frag   string
+	}{
+		{"undefined_op", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpAllocM)] = isa.Instr{Op: isa.Op(60)}
+		}, VerifyConfig{}, "undefined op"},
+		{"reg_oob", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpShl)].Dst = 20
+		}, VerifyConfig{}, "X-register file"},
+		{"reg_oob_small_file", func(t *testing.T, p *Program) {},
+			VerifyConfig{NumXRegs: 4}, "X-register file"},
+		{"imm_16bit", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpShl)].Imm = 100000
+		}, VerifyConfig{}, "16-bit field"},
+		{"env_slot", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpLde)].Imm = 20
+		}, VerifyConfig{}, "environment operand"},
+		{"peek_beyond_fill", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpPeek)].Imm = 8
+		}, VerifyConfig{}, "message peek"},
+		{"peek_negative", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpPeek)].Imm = -3
+		}, VerifyConfig{}, "message peek"},
+		{"peek_in_payloadless_routine", func(t *testing.T, p *Program) {
+			// The MetaLoad routine has no message payload; slot 0 is gone.
+			p.Code[findOp(t, p, isa.OpAllocM)] = isa.Instr{Op: isa.OpPeek, Dst: 5, Imm: 0}
+		}, VerifyConfig{}, "message peek"},
+		{"fill_zero_words", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpEnqFillI)].Imm = 0
+		}, VerifyConfig{}, "fill of 0 words"},
+		{"fill_too_wide", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpEnqFillI)].Imm = 9
+		}, VerifyConfig{MaxFillWords: 8}, "fill of 9 words"},
+		{"writeback_too_wide", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpEnqFillI)] = isa.Instr{Op: isa.OpEnqWb, Dst: 4, A: 5, Imm: 12}
+		}, VerifyConfig{MaxFillWords: 8}, "writeback of 12 words"},
+		{"allocdi_zero", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpAllocDI)].Imm = 0
+		}, VerifyConfig{}, "at least 1"},
+		{"allocdi_over_capacity", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpAllocDI)].Imm = 4097
+		}, VerifyConfig{DataSectors: 4096}, "exceeds the 4096-sector data RAM"},
+		{"state_oob", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpState)].Imm = 99
+		}, VerifyConfig{}, "state operand"},
+		{"halt_oob", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpHalt)].Imm = -1
+		}, VerifyConfig{}, "state operand"},
+		{"yield_into_dead_state", func(t *testing.T, p *Program) {
+			// Valid has no transitions: a walker yielding there sleeps forever.
+			p.Code[findOp(t, p, isa.OpState)].Imm = StateValid
+		}, VerifyConfig{}, "no event can wake"},
+		{"branch_escapes_routine", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpAllocM)] = isa.Instr{Op: isa.OpJmp, Imm: 40}
+		}, VerifyConfig{}, "branch target"},
+		{"fall_off_end", func(t *testing.T, p *Program) {
+			p.Code[findOp(t, p, isa.OpHalt)] = isa.Instr{Op: isa.OpMov, Dst: 5, A: 6}
+		}, VerifyConfig{}, "fall off its end"},
+		{"straight_line_budget", func(t *testing.T, p *Program) {},
+			VerifyConfig{MaxRoutineSteps: 3}, "runaway budget"},
+		{"no_miss_entry", func(t *testing.T, p *Program) {
+			p.Table[StateInvalid][EvMetaLoad] = -1
+			p.Table[StateInvalid][EvMetaStore] = -1
+		}, VerifyConfig{}, "misses cannot start"},
+		{"pointer_outside_code", func(t *testing.T, p *Program) {
+			p.Table[StateInvalid][EvMetaLoad] = 1000
+		}, VerifyConfig{}, "outside microcode"},
+		{"ragged_table", func(t *testing.T, p *Program) {
+			p.Table[1] = p.Table[1][:1]
+		}, VerifyConfig{}, "ragged routine table"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := compileToy(t)
+			c.mutate(t, p)
+			err := Verify(p, c.cfg)
+			if err == nil {
+				t.Fatal("verifier accepted a bad program")
+			}
+			ve, ok := err.(*VerifyError)
+			if !ok {
+				t.Fatalf("error type %T, want *VerifyError", err)
+			}
+			if !strings.Contains(ve.Error(), c.frag) {
+				t.Fatalf("rejection %q does not mention %q", ve.Error(), c.frag)
+			}
+		})
+	}
+}
+
+func TestVerifyEmptyProgram(t *testing.T) {
+	if err := Verify(&Program{Name: "empty"}, VerifyConfig{}); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+// TestVerifyAcceptsLoops pins that a backward branch (a data-dependent
+// loop, as in the SpGEMM row-fetch routine) passes the straight-line
+// budget check: runaway loops are the runtime trap's job.
+func TestVerifyAcceptsLoops(t *testing.T) {
+	s := Spec{
+		Name:   "loopy",
+		States: []string{"W"},
+		Transitions: []Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocm
+				lde r4, e0
+				li r5, 4
+			top:
+				enqfilli r4, 1
+				dec r5
+				bnz r5, top
+				state W
+			`},
+			{State: "W", Event: "Fill", Asm: `
+				peek r6, 0
+				enqresp r6, OK
+				abort
+			`},
+		},
+	}
+	p, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, VerifyConfig{MaxRoutineSteps: 7}); err != nil {
+		t.Fatalf("looping routine rejected despite fitting the straight-line budget: %v", err)
+	}
+}
