@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak fuzz-smoke fuzz bench ci
+.PHONY: verify vet fmt golden race faultsmoke soak servesmoke fuzz-smoke fuzz bench bench-json ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -39,12 +39,23 @@ faultsmoke:
 soak:
 	XCACHE_SOAK=full $(GO) test -race -run TestFaultMatrixSoak -count=1 -v ./internal/exp/runner
 
+# Serve smoke: the multi-tenant service layer under the race detector.
+# The serve loop drives Parallelize'd controller shards over one shared
+# DRAM mux — the first genuinely concurrent shared-state path beyond the
+# sweep worker pool — so the race detector must gate it in ci. Covers
+# the unloaded smoke, the serial-vs-parallel determinism cross-check and
+# the full chaos soak (seeded faults, byte-stable stats).
+servesmoke:
+	$(GO) test -race -count=1 -run 'TestSmoke|TestDeterminism|TestChaosSoak' ./internal/serve
+
 # Fuzz smoke: replay the checked-in seed corpora (testdata/fuzz/) through
 # every fuzz target deterministically — no -fuzz randomness, so it is a
 # stable CI tier (~seconds). FuzzDecode/FuzzAssemble pin the ISA layer;
-# FuzzVerify pins accepts-implies-no-structural-trap on a live controller.
+# FuzzVerify pins accepts-implies-no-structural-trap on a live
+# controller; FuzzParseTenantSpec pins the xcache-serve tenant grammar
+# (accept implies valid, canonical-format round-trip).
 fuzz-smoke:
-	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl
+	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl ./internal/serve
 
 # Open-ended fuzzing (not part of ci): 30s per target, promote anything
 # interesting from the build cache into testdata/fuzz/ before committing.
@@ -52,8 +63,18 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa
 	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/isa
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s ./internal/ctrl
+	$(GO) test -fuzz FuzzParseTenantSpec -fuzztime 30s ./internal/serve
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
-ci: verify race faultsmoke soak fuzz-smoke
+# Perf baseline: regenerate the committed BENCH_0.json. Everything in
+# the file is seed-pinned and worker-count-invariant, so this must be
+# byte-identical to the checked-in copy on an unchanged tree (wall time
+# goes to stderr, not into the file). Speed PRs (ROADMAP item 1) diff
+# against it: identical bytes prove the optimisation is
+# result-invariant; the stderr wall line gives the speed trajectory.
+bench-json:
+	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -json BENCH_0.json >/dev/null
+
+ci: verify race faultsmoke soak servesmoke fuzz-smoke

@@ -9,9 +9,17 @@
 // scale divides the published workload sizes (and cache capacities with
 // them); -scale 1 runs the paper-scale configuration and takes several
 // minutes. -parallel sets the sweep-engine worker count (default
-// GOMAXPROCS); output is byte-identical for every worker count. -v
-// prints the runner statistics (runs launched/cached/failed, per-run
-// cycles and wall time, peak workers) on stderr.
+// $XCACHE_BENCH_WORKERS, else GOMAXPROCS); output is byte-identical for
+// every worker count. -v prints the runner statistics (runs
+// launched/cached/failed, per-run cycles and wall time, peak workers) on
+// stderr.
+//
+// -json FILE additionally writes every selected figure's metrics, notes
+// and table rows as one machine-readable JSON document. Everything in
+// the file is seed-pinned and worker-count-invariant, so regenerating it
+// with the same flags is byte-identical — `make bench-json` maintains
+// the committed BENCH_0.json perf baseline this way. Wall time is
+// deliberately reported on stderr only, to keep the file reproducible.
 //
 // Resilience:
 //
@@ -30,11 +38,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,9 +52,62 @@ import (
 	"xcache/internal/exp/runner"
 )
 
+// benchBaseline is the -json document: the deterministic slice of a
+// bench run (metrics, notes, rendered rows — no wall times), so the
+// committed BENCH_0.json stays byte-stable across regenerations.
+type benchBaseline struct {
+	Schema  string         `json:"schema"` // "xcache-bench/1"
+	Scale   int            `json:"scale"`
+	Workers int            `json:"workers"`
+	Figures []figureResult `json:"figures"`
+}
+
+type figureResult struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title,omitempty"`
+	Header  []string           `json:"header,omitempty"`
+	Rows    [][]string         `json:"rows,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
+// writeBaseline marshals the outs into path. Figures keep their emission
+// order; metrics maps marshal with sorted keys, so the bytes are a pure
+// function of the results.
+func writeBaseline(path string, scale, workers int, outs []*exp.Out) error {
+	doc := benchBaseline{Schema: "xcache-bench/1", Scale: scale, Workers: workers}
+	for _, o := range outs {
+		f := figureResult{ID: o.ID, Metrics: o.Metrics, Notes: o.Notes}
+		if o.Table != nil {
+			f.Title = o.Table.Title
+			f.Header = o.Table.Header
+			f.Rows = o.Table.Rows
+		}
+		doc.Figures = append(doc.Figures, f)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// defaultWorkers honors XCACHE_BENCH_WORKERS (the same pin the
+// benchmark suite uses) so `make bench-json` can fix the worker count
+// without per-invocation flags; results are identical for any value.
+func defaultWorkers() int {
+	if s := os.Getenv("XCACHE_BENCH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func main() {
+	start := time.Now()
 	scale := flag.Int("scale", 25, "workload scale divisor (1 = paper scale)")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep-engine workers (results are identical for any value)")
+	parallel := flag.Int("parallel", defaultWorkers(), "sweep-engine workers (results are identical for any value)")
 	verbose := flag.Bool("v", false, "print runner statistics (launched/cached/failed, per-run wall time)")
 	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, btree, ablation) or 'all'")
 	partial := flag.Bool("partial", false, "annotate failed cells instead of aborting the run")
@@ -52,6 +115,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently failing runs up to N times (deterministic backoff)")
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt)")
 	specWall := flag.Duration("spec-wall", 0, "per-run wall deadline (0 = none)")
+	jsonPath := flag.String("json", "", "write a machine-readable (and byte-reproducible) result baseline to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -186,6 +250,14 @@ func main() {
 		for _, d := range degraded {
 			fmt.Fprintln(os.Stderr, "  "+d)
 		}
+	}
+
+	if *jsonPath != "" {
+		if err := writeBaseline(*jsonPath, *scale, run.Workers(), outs); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "xcache-bench: wrote %s (%d figures, scale %d, %.1fs wall)\n",
+			*jsonPath, len(outs), *scale, time.Since(start).Seconds())
 	}
 
 	if *verbose {

@@ -203,6 +203,39 @@ func (h *Harness) Err() error {
 	return h.inv.err
 }
 
+// Step advances the kernel one supervised cycle, converting a recovered
+// queue-overflow panic into an error. It is the building block for run
+// loops that cannot use Run because they must keep executing across
+// conditions Run treats as fatal (internal/serve handles controller traps
+// through its circuit breaker instead of aborting).
+func (h *Harness) Step() error {
+	if h == nil {
+		return fmt.Errorf("check: Step on nil harness")
+	}
+	return h.step()
+}
+
+// Stalled reports whether the watchdog has observed no forward progress
+// for its full window ending at cycle c. Always false without a watchdog.
+func (h *Harness) Stalled(c sim.Cycle) bool {
+	return h != nil && h.wd != nil && h.wd.stalled(c)
+}
+
+// StallFor returns how many cycles the machine has made no progress
+// (0 without a watchdog).
+func (h *Harness) StallFor(c sim.Cycle) sim.Cycle {
+	if h == nil || h.wd == nil {
+		return 0
+	}
+	return h.wd.stallFor(c)
+}
+
+// Report assembles a StallReport from the kernel's current state, for
+// callers that run their own supervised loop over Step.
+func (h *Harness) Report(kind FailureKind, reason string) *StallReport {
+	return h.report(kind, reason)
+}
+
 // trapped returns the first structural microcode trap raised by any
 // supervised controller, or nil.
 func (h *Harness) trapped() *ctrl.Trap {

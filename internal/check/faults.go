@@ -1,6 +1,8 @@
 package check
 
 import (
+	"sync/atomic"
+
 	"xcache/internal/dram"
 	"xcache/internal/metatag"
 	"xcache/internal/sim"
@@ -18,6 +20,7 @@ const (
 	streamFlipPick
 	streamFlipWord
 	streamFlipBit
+	streamFlipArr
 )
 
 // Injector makes every fault decision from a stateless hash of
@@ -30,7 +33,10 @@ type Injector struct {
 	k    *sim.Kernel
 	tags []*metatag.Array
 
-	// Counters of injected faults (for logs and smoke tests).
+	// Counters of injected faults (for logs and smoke tests). Clogs is
+	// updated atomically — clog hooks fire from CanPush, which parallel
+	// tick groups (sim.Parallelize) may call concurrently — so read it
+	// only after the run quiesces.
 	Drops  uint64
 	Delays uint64
 	Clogs  uint64
@@ -43,6 +49,26 @@ func newInjector(seed uint64, cfg FaultConfig, k *sim.Kernel) *Injector {
 	}
 	return &Injector{cfg: cfg, seed: seed, k: k}
 }
+
+// NewInjector creates a standalone fault injector for service layers
+// (internal/serve) whose topology Attach cannot discover — e.g. a DRAM
+// channel reached through a mux, or ingress queues the harness does not
+// know about. The caller wires it up: assign it to dram.DRAM.Faults for
+// drop/delay faults, Clog the queues that should clog, WatchTags +
+// kernel.Observe for bit flips.
+func NewInjector(seed uint64, cfg FaultConfig, k *sim.Kernel) *Injector {
+	return newInjector(seed, cfg, k)
+}
+
+// Clog installs the transient-fullness fault hook on a queue (exported
+// wrapper over the hook Attach wires automatically).
+func (in *Injector) Clog(q sim.Clogger) { in.clog(q) }
+
+// WatchTags registers a meta-tag array as a bit-flip target. The caller
+// must also register the injector as a kernel observer (k.Observe) for
+// the per-cycle flip gate to fire, and should enable the owning
+// controller's ParityCheck so corruptions are scrubbed rather than served.
+func (in *Injector) WatchTags(a *metatag.Array) { in.tags = append(in.tags, a) }
 
 // roll returns a uniform value in [0,1) determined entirely by the seed,
 // the stream, and the two salts.
@@ -77,7 +103,7 @@ func (in *Injector) clog(q sim.Clogger) {
 	name := hashString(q.Name())
 	q.SetClog(func() bool {
 		if in.roll(streamClog, uint64(in.k.Cycle()), name) < in.cfg.ClogQueue {
-			in.Clogs++
+			atomic.AddUint64(&in.Clogs, 1)
 			return true
 		}
 		return false
@@ -94,19 +120,29 @@ func (in *Injector) AfterStep(c sim.Cycle) {
 	if in.cfg.FlipBit <= 0 || in.roll(streamFlipGate, uint64(c), 0) >= in.cfg.FlipBit {
 		return
 	}
+	eligible := func(e *metatag.Entry) bool {
+		return e.Walker == metatag.NoWalker && !e.Dirty && e.ParityOK()
+	}
+	// Choose uniformly among the arrays that currently hold an eligible
+	// entry (multi-shard topologies register one array per shard; always
+	// flipping the first would spare the rest). With a single eligible
+	// array the choice is index 0, identical to the historical behavior.
+	var cand []int
+	counts := make([]int, len(in.tags))
 	for ti, a := range in.tags {
-		eligible := func(e *metatag.Entry) bool {
-			return e.Walker == metatag.NoWalker && !e.Dirty && e.ParityOK()
-		}
-		n := 0
 		a.ForEach(func(e *metatag.Entry) {
 			if eligible(e) {
-				n++
+				counts[ti]++
 			}
 		})
-		if n == 0 {
-			continue
+		if counts[ti] > 0 {
+			cand = append(cand, ti)
 		}
+	}
+	if len(cand) > 0 {
+		ci := min(int(in.roll(streamFlipArr, uint64(c), 0)*float64(len(cand))), len(cand)-1)
+		ti := cand[ci]
+		a, n := in.tags[ti], counts[ti]
 		pick := min(int(in.roll(streamFlipPick, uint64(c), uint64(ti))*float64(n)), n-1)
 		word := 0
 		if a.Cfg.KeyWords > 1 {

@@ -116,6 +116,18 @@ func specBug(format string, args ...any) {
 // Trap returns the first trap raised since the program was loaded, or nil.
 func (c *Controller) Trap() *Trap { return c.trap }
 
+// ClearTrap discards the latched trap and returns it, re-arming trap
+// capture without reloading the program. The machine is already healthy —
+// raise() quiesced the offending walker when the trap fired — so this is
+// the reset hook for supervisors (internal/serve's circuit breaker) that
+// drain a controller after a trap and then resume feeding it. Stats.Traps
+// keeps its cumulative count.
+func (c *Controller) ClearTrap() *Trap {
+	t := c.trap
+	c.trap = nil
+	return t
+}
+
 // trapStep raises a trap from the back-end executor: the action at r.pc
 // faulted. It quiesces the walker and retires the routine (stepDone).
 func (c *Controller) trapStep(cy sim.Cycle, r *run, w *walker, kind TrapKind, detail string) stepStatus {

@@ -74,6 +74,11 @@ type Stats struct {
 	// Fault-injection accounting (zero unless a FaultInjector is set).
 	DroppedResps uint64 // read responses suppressed by the injector
 	DelayedResps uint64 // read responses held back by the injector
+
+	// PeakPending is the high-water mark of admitted-but-incomplete
+	// requests (scheduler window + held + fault-delayed responses): the
+	// channel-pressure gauge service layers watch for overload.
+	PeakPending int
 }
 
 // Accesses returns total read+write requests served.
@@ -261,6 +266,9 @@ func (d *DRAM) Tick(c sim.Cycle) {
 			break
 		}
 		d.window = append(d.window, &pending{req: req, arrived: c})
+	}
+	if p := d.Pending(); p > d.stats.PeakPending {
+		d.stats.PeakPending = p
 	}
 
 	// Issue: for each idle bank, pick the oldest pending request targeting

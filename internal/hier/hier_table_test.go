@@ -1,0 +1,221 @@
+package hier
+
+import (
+	"testing"
+
+	"xcache/internal/core"
+	"xcache/internal/ctrl"
+	"xcache/internal/dram"
+	"xcache/internal/energy"
+	"xcache/internal/mem"
+	"xcache/internal/metatag"
+	"xcache/internal/sim"
+)
+
+// twoLevel assembles the standard composition — MetaL1 over a walking L2
+// over DRAM — with n seeded array elements (array[i] = i + 500).
+func twoLevel(t *testing.T, l1cfg L1Config, n int) (*sim.Kernel, *MetaL1, *core.Cache, *dram.DRAM) {
+	t.Helper()
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, dram.DefaultConfig(), img)
+	meter := &energy.Counters{}
+	l2, err := core.Build(k, l2Config(), arraySpec(), d.Req, d.Resp, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := NewMetaL1(k, l1cfg, l2.Ctrl, meter)
+	base := img.AllocWords(n)
+	for i := 0; i < n; i++ {
+		img.W64(base+uint64(i)*8, uint64(i+500))
+	}
+	l2.SetEnv(0, base)
+	return k, l1, l2, d
+}
+
+// sendAll pushes the keys one at a time and returns the responses by id.
+func sendAll(t *testing.T, k *sim.Kernel, l1 *MetaL1, keys []uint64) map[uint64]ctrl.MetaResp {
+	t.Helper()
+	got := map[uint64]ctrl.MetaResp{}
+	for i, key := range keys {
+		id := uint64(i + 1)
+		l1.ReqQ.MustPush(ctrl.MetaReq{ID: id, Op: ctrl.MetaLoad,
+			Key: metatag.Key{key, 0}, Issued: k.Cycle()})
+		if !k.RunUntil(func() bool {
+			drainResp(l1.RespQ, got)
+			_, ok := got[id]
+			return ok
+		}, 100_000) {
+			t.Fatalf("no response for key %d (id %d)", key, id)
+		}
+	}
+	return got
+}
+
+// TestHierComposition: the L1-over-L2 composition answers correctly
+// across geometries, and per-level stats expose where each access hit.
+func TestHierComposition(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  L1Config
+		keys []uint64
+		// After the sequence: exact L1 ledger expectations.
+		wantHits   uint64
+		wantMisses uint64
+	}{
+		{
+			// Every repeat of a resident key hits L1.
+			name:     "repeats hit L1",
+			cfg:      L1Config{Sets: 8, Ways: 2, WordsPerSector: 4},
+			keys:     []uint64{3, 3, 3, 3},
+			wantHits: 3, wantMisses: 1,
+		},
+		{
+			// Distinct keys within capacity: all cold misses, no hits.
+			name:     "cold misses",
+			cfg:      L1Config{Sets: 8, Ways: 2, WordsPerSector: 4},
+			keys:     []uint64{1, 2, 3, 4, 5},
+			wantHits: 0, wantMisses: 5,
+		},
+		{
+			// A single-set, single-way L1 thrashes: the revisit of key 0
+			// after key 8 (same set) must miss again.
+			name:     "capacity thrash",
+			cfg:      L1Config{Sets: 1, Ways: 1, WordsPerSector: 4},
+			keys:     []uint64{0, 8, 0},
+			wantHits: 0, wantMisses: 3,
+		},
+		{
+			// Two ways in one set keep both conflicting keys resident.
+			name:     "associativity rescues",
+			cfg:      L1Config{Sets: 1, Ways: 2, WordsPerSector: 4},
+			keys:     []uint64{0, 8, 0, 8},
+			wantHits: 2, wantMisses: 2,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k, l1, _, _ := twoLevel(t, c.cfg, 64)
+			got := sendAll(t, k, l1, c.keys)
+			for i, key := range c.keys {
+				r := got[uint64(i+1)]
+				if r.Status != 0 || r.Value != key+500 {
+					t.Fatalf("key %d: status %d value %d, want OK %d", key, r.Status, r.Value, key+500)
+				}
+			}
+			st := l1.Stats()
+			if st.Loads != uint64(len(c.keys)) {
+				t.Errorf("loads %d, want %d", st.Loads, len(c.keys))
+			}
+			if st.Hits != c.wantHits || st.Misses != c.wantMisses {
+				t.Errorf("L1 hits/misses %d/%d, want %d/%d", st.Hits, st.Misses, c.wantHits, c.wantMisses)
+			}
+			if st.Responses != uint64(len(c.keys)) {
+				t.Errorf("responses %d, want %d", st.Responses, len(c.keys))
+			}
+		})
+	}
+}
+
+// TestHierMissPropagation: each L1 miss forwards exactly one request
+// downstream, and the downstream level's own hit/miss split follows
+// residency there — misses propagate level by level, hits cut the chain.
+func TestHierMissPropagation(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []uint64
+		// Expected downstream (L2 controller) ledger after the sequence.
+		wantForwards uint64 // L1 -> L2 requests
+		wantL2Hits   uint64
+		wantL2Misses uint64 // L2 walker spawns (DRAM walks)
+	}{
+		{
+			// Cold keys: every miss walks all the way to DRAM.
+			name:         "cold chain to dram",
+			keys:         []uint64{10, 11, 12},
+			wantForwards: 3, wantL2Hits: 0, wantL2Misses: 3,
+		},
+		{
+			// Thrash L1 (set-conflicting keys on a 1x1 L1) while L2 holds
+			// both: later misses stop at L2, which answers from its array.
+			name:         "l2 absorbs l1 thrash",
+			keys:         []uint64{0, 8, 0, 8},
+			wantForwards: 4, wantL2Hits: 2, wantL2Misses: 2,
+		},
+		{
+			// L1 hits never reach L2 at all.
+			name:         "l1 hit cuts chain",
+			keys:         []uint64{5, 5, 5},
+			wantForwards: 1, wantL2Hits: 0, wantL2Misses: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// 1-set/1-way L1 makes L1 residency trivially predictable.
+			k, l1, l2, d := twoLevel(t, L1Config{Sets: 1, Ways: 1, WordsPerSector: 4}, 64)
+			got := sendAll(t, k, l1, c.keys)
+			for i, key := range c.keys {
+				if r := got[uint64(i+1)]; r.Value != key+500 {
+					t.Fatalf("key %d answered %d", key, r.Value)
+				}
+			}
+			if f := l1.Stats().Forwards; f != c.wantForwards {
+				t.Errorf("forwards %d, want %d", f, c.wantForwards)
+			}
+			cs := l2.Ctrl.Stats()
+			if cs.Hits != c.wantL2Hits || cs.Misses != c.wantL2Misses {
+				t.Errorf("L2 hits/misses %d/%d, want %d/%d", cs.Hits, cs.Misses, c.wantL2Hits, c.wantL2Misses)
+			}
+			// DRAM reads equal L2 walks: nothing else touches memory in
+			// this composition (no evictions at this working-set size).
+			if reads := d.Stats().Reads; reads != c.wantL2Misses {
+				t.Errorf("DRAM reads %d, want %d", reads, c.wantL2Misses)
+			}
+			if !l1.Idle() {
+				t.Error("L1 not idle after all responses")
+			}
+		})
+	}
+}
+
+// TestHierLevelStats: the L1 load-to-use average reflects the hit
+// latency configuration, and hit traffic is accounted at the right level.
+func TestHierLevelStats(t *testing.T) {
+	cases := []struct {
+		name       string
+		hitLatency int
+	}{
+		{name: "default latency 2", hitLatency: 0},
+		{name: "latency 6", hitLatency: 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k, l1, _, _ := twoLevel(t, L1Config{Sets: 8, Ways: 2, WordsPerSector: 4, HitLatency: c.hitLatency}, 64)
+			// Warm the key (cold walk), then snapshot and measure hits only.
+			sendAll(t, k, l1, []uint64{9})
+			warm := l1.Stats()
+			if warm.L2UCount != warm.Responses {
+				t.Fatalf("L2U count %d, want %d (every response)", warm.L2UCount, warm.Responses)
+			}
+			sendAll(t, k, l1, []uint64{9, 9, 9, 9, 9})
+			st := l1.Stats()
+			if st.Hits != 5 {
+				t.Fatalf("hits %d, want 5", st.Hits)
+			}
+			want := c.hitLatency
+			if want == 0 {
+				want = 2
+			}
+			// Hit-only load-to-use: matures HitLatency cycles after lookup,
+			// plus a small fixed pipeline overhead (queue commit + delivery).
+			avg := float64(st.L2USum-warm.L2USum) / float64(st.L2UCount-warm.L2UCount)
+			if avg < float64(want) || avg > float64(want)+3 {
+				t.Errorf("avg hit load-to-use %.1f outside [%d, %d]", avg, want, want+3)
+			}
+			// A larger hit latency must be visible in the aggregate mean too.
+			if st.AvgLoadToUse() <= avg/2 {
+				t.Errorf("aggregate avg %.1f implausibly below hit avg %.1f", st.AvgLoadToUse(), avg)
+			}
+		})
+	}
+}

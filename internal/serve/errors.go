@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"xcache/internal/check"
+)
+
+// ErrOverload is the sentinel all admission-control rejections unwrap to:
+// errors.Is(err, ErrOverload) holds for every shed, whatever the reason.
+var ErrOverload = errors.New("serve: overload")
+
+// ShedReason classifies why admission control refused a request.
+type ShedReason int
+
+// The admission rejection reasons, in the order admission checks them.
+const (
+	// ShedBreaker: the target shard's circuit breaker is open (or out of
+	// half-open probe budget); the shard is being drained or proved.
+	ShedBreaker ShedReason = iota + 1
+	// ShedRate: the tenant's token bucket is empty — it is offering more
+	// than its contracted rate.
+	ShedRate
+	// ShedQueue: the shard's ingress queue is beyond this priority's
+	// depth threshold (lower priorities shed at shallower depths).
+	ShedQueue
+)
+
+// String names the reason for logs and JSON.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedBreaker:
+		return "breaker"
+	case ShedRate:
+		return "rate"
+	case ShedQueue:
+		return "queue"
+	}
+	return fmt.Sprintf("shed(%d)", int(r))
+}
+
+// OverloadError is the typed admission failure: which tenant was shed, at
+// which shard, and why. It unwraps to ErrOverload.
+type OverloadError struct {
+	Tenant int
+	Shard  int
+	Reason ShedReason
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: overload: tenant %d shed at shard %d (%s)", e.Tenant, e.Shard, e.Reason)
+}
+
+// Unwrap ties the typed error to the ErrOverload sentinel.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// transientKind folds the check.FailureKind taxonomy into the retry
+// decision: a stalled attempt (timeout — the request may simply be stuck
+// behind a transient: a dropped fill, a clogged queue) is worth retrying;
+// a trap casualty is a structural program fault and deterministic, so
+// retrying would only burn budget.
+func transientKind(k check.FailureKind) bool {
+	switch k {
+	case check.FailStall, check.FailBudget:
+		return true
+	default:
+		return false
+	}
+}

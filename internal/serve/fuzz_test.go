@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTenantSpec pins the tenant-spec parser's total-function
+// contract: arbitrary input never panics, every accepted mix passes
+// validate() group by group (so a parsed spec can always be simulated),
+// and Format∘Parse∘Format is a fixed point — the canonical rendering
+// reparses to the identical mix.
+func FuzzParseTenantSpec(f *testing.F) {
+	seeds := []string{
+		"8",
+		"4@3",
+		"1@7:rate=1",
+		"16@2:rate=0.05,skew=0.9,burst=200/0.25",
+		"8:rate=0.02;2@7:rate=0.1",
+		"8@0:rate=0.05;56@2:rate=0.01,skew=1.2,burst=2000/0.25",
+		" 8 @ 1 : rate=0.02 ",
+		"",
+		";",
+		"0",
+		"-3",
+		"4@8",
+		"4:rate=2",
+		"4:rate=NaN",
+		"4:rate=1e309",
+		"4:skew=Inf",
+		"4:burst=100/1.5",
+		"4:burst=0/0.5",
+		"4:color=red",
+		"4:rate=",
+		"@",
+		"4@@2",
+		"4:rate=0.01,rate=0.02",
+		"999999999999999999999999",
+		"1;1;1;1;1;1;1;1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		groups, err := ParseTenantSpec(s)
+		if err != nil {
+			return
+		}
+		if len(groups) == 0 {
+			t.Fatalf("ParseTenantSpec(%q) accepted with zero groups", s)
+		}
+		for i, g := range groups {
+			if verr := g.validate(); verr != nil {
+				t.Fatalf("ParseTenantSpec(%q) accepted invalid group %d: %v", s, i, verr)
+			}
+		}
+		canon := FormatTenantSpec(groups)
+		if strings.Count(canon, ";") != len(groups)-1 {
+			t.Fatalf("canonical form %q has wrong group count", canon)
+		}
+		back, err := ParseTenantSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", canon, err)
+		}
+		if !reflect.DeepEqual(groups, back) {
+			t.Fatalf("canonical round trip diverged:\n  %q -> %+v\n  %q -> %+v", s, groups, canon, back)
+		}
+		if again := FormatTenantSpec(back); again != canon {
+			t.Fatalf("Format not a fixed point: %q vs %q", canon, again)
+		}
+	})
+}

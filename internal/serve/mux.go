@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+
+	"xcache/internal/dram"
+	"xcache/internal/sim"
+)
+
+// Shard-id tagging for requests multiplexed onto the shared DRAM
+// channel. Controller request ids occupy the low 32 bits (walker index,
+// possibly OR'd with the bit-63 writeback flag and the bit-62 hierarchy
+// flag), so bits 32..47 are free for the shard index.
+const (
+	muxShardShift = 32
+	muxShardMask  = uint64(0xffff)
+)
+
+// dramMux funnels the per-shard memory channels into the single shared
+// DRAM channel: requests are round-robined in (shard id tagged into the
+// request id), responses are routed back by that tag with the id
+// restored. It is a plain serially-ticked component, so the shared
+// channel needs no locking even when the shards tick in parallel — the
+// shards only touch their own queue endpoints.
+type dramMux struct {
+	d     *dram.DRAM
+	reqs  []*sim.Queue[dram.Request]
+	resps []*sim.Queue[dram.Response]
+	rr    int
+
+	forwarded uint64
+	returned  uint64
+}
+
+func newDRAMMux(k *sim.Kernel, d *dram.DRAM, reqs []*sim.Queue[dram.Request], resps []*sim.Queue[dram.Response]) *dramMux {
+	if len(reqs) != len(resps) {
+		panic(fmt.Sprintf("serve: mux port mismatch: %d req vs %d resp", len(reqs), len(resps)))
+	}
+	m := &dramMux{d: d, reqs: reqs, resps: resps}
+	k.Add(m)
+	return m
+}
+
+// Tick implements sim.Component.
+func (m *dramMux) Tick(c sim.Cycle) {
+	// Responses first: route by shard tag. A full shard response queue
+	// blocks head-of-line; the DRAM model's own respHold spill keeps the
+	// channel itself from wedging behind it.
+	for {
+		r, ok := m.d.Resp.Peek()
+		if !ok {
+			break
+		}
+		s := int(r.ID >> muxShardShift & muxShardMask)
+		if s >= len(m.resps) {
+			panic(fmt.Sprintf("serve: mux response with shard tag %d of %d", s, len(m.resps)))
+		}
+		if !m.resps[s].CanPush() {
+			break
+		}
+		m.d.Resp.Pop()
+		r.ID &^= muxShardMask << muxShardShift
+		m.resps[s].MustPush(r)
+		m.returned++
+	}
+
+	// Requests: round-robin across shards for fairness, bounded by the
+	// channel queue's free space this cycle.
+	free := m.d.Req.Free()
+	for n := 0; n < free; {
+		advanced := false
+		for i := 0; i < len(m.reqs) && n < free; i++ {
+			s := (m.rr + i) % len(m.reqs)
+			rq, ok := m.reqs[s].Peek()
+			if !ok {
+				continue
+			}
+			m.reqs[s].Pop()
+			rq.ID |= uint64(s) << muxShardShift
+			m.d.Req.MustPush(rq)
+			n++
+			advanced = true
+			m.rr = (s + 1) % len(m.reqs)
+		}
+		if !advanced {
+			break
+		}
+	}
+}

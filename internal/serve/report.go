@@ -1,0 +1,206 @@
+package serve
+
+import "xcache/internal/stats"
+
+// Report is the run summary xcache-serve emits as JSON. Every field is
+// deterministic given (Config minus TickWorkers, Seed): the serial/
+// parallel determinism test byte-compares two marshalled Reports, so
+// nothing wall-clock-dependent — and no worker count — may appear here.
+type Report struct {
+	Config  ReportConfig   `json:"config"`
+	Cycles  uint64         `json:"cycles"`
+	Totals  Totals         `json:"totals"`
+	Latency Latency        `json:"latency"`
+	Tenants []TenantReport `json:"tenants"`
+	Shards  []ShardReport  `json:"shards"`
+	DRAM    DRAMReport     `json:"dram"`
+	Faults  *FaultReport   `json:"faults,omitempty"`
+}
+
+// ReportConfig echoes the run parameters that shape the results.
+type ReportConfig struct {
+	Shards       int     `json:"shards"`
+	Tenants      string  `json:"tenants"` // canonical spec string
+	TenantCount  int     `json:"tenant_count"`
+	Keys         int     `json:"keys"`
+	Duration     int     `json:"duration"`
+	Seed         uint64  `json:"seed"`
+	Overload     float64 `json:"overload"`
+	IngressDepth int     `json:"ingress_depth"`
+	Deadline     int     `json:"deadline"`
+	Timeout      int     `json:"timeout"`
+	Retries      int     `json:"retries"`
+	Backoff      int     `json:"backoff"`
+}
+
+// Totals is the service-wide ledger. Conservation holds exactly:
+// generated == completed + shed + failed (pending is zero at report time).
+type Totals struct {
+	Generated uint64 `json:"generated"`
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	Failed    uint64 `json:"failed"`
+	Retries   uint64 `json:"retries"`
+
+	// ThroughputKcycle is completed requests per thousand cycles.
+	ThroughputKcycle float64 `json:"throughput_kcycle"`
+	// ShedRate is shed / generated (0 when nothing was generated).
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// Latency summarises admission-to-completion latency in cycles.
+type Latency struct {
+	P50  uint64  `json:"p50"`
+	P99  uint64  `json:"p99"`
+	P999 uint64  `json:"p999"`
+	Max  uint64  `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// TenantReport is one tenant's ledger and service quality.
+type TenantReport struct {
+	Tenant   int     `json:"tenant"`
+	Group    int     `json:"group"`
+	Priority int     `json:"priority"`
+	Rate     float64 `json:"rate"`
+
+	Generated      uint64 `json:"generated"`
+	Completed      uint64 `json:"completed"`
+	NotFound       uint64 `json:"not_found"`
+	ShedRate       uint64 `json:"shed_rate_limit"`
+	ShedQueue      uint64 `json:"shed_queue"`
+	ShedBreaker    uint64 `json:"shed_breaker"`
+	FailedDeadline uint64 `json:"failed_deadline"`
+	FailedTrap     uint64 `json:"failed_trap"`
+	Retries        uint64 `json:"retries"`
+
+	Latency          Latency `json:"latency"`
+	ThroughputKcycle float64 `json:"throughput_kcycle"`
+}
+
+// ShardReport is one shard's traffic, backpressure and breaker history.
+type ShardReport struct {
+	Shard     int    `json:"shard"`
+	Forwarded uint64 `json:"forwarded"`
+	Timeouts  uint64 `json:"timeouts"`
+	BPCycles  uint64 `json:"backpressure_cycles"`
+
+	BreakerState      string `json:"breaker_state"`
+	BreakerTrips      uint64 `json:"breaker_trips"`
+	BreakerOpenCycles uint64 `json:"breaker_open_cycles"`
+
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Traps         uint64 `json:"traps"`
+	StallCycles   uint64 `json:"stall_cycles"`
+	FillRetries   uint64 `json:"fill_retries"`
+	SpuriousFills uint64 `json:"spurious_fills"`
+	ParityScrubs  uint64 `json:"parity_scrubs"`
+}
+
+// DRAMReport is the shared channel's pressure summary.
+type DRAMReport struct {
+	Reads       uint64 `json:"reads"`
+	Writes      uint64 `json:"writes"`
+	RowHits     uint64 `json:"row_hits"`
+	RowMisses   uint64 `json:"row_misses"`
+	BusBusy     uint64 `json:"bus_busy"`
+	PeakPending int    `json:"peak_pending"`
+}
+
+// FaultReport counts the chaos actually injected (present only when
+// fault injection was configured).
+type FaultReport struct {
+	Drops  uint64 `json:"drops"`
+	Delays uint64 `json:"delays"`
+	Clogs  uint64 `json:"clogs"`
+	Flips  uint64 `json:"flips"`
+}
+
+func latencyOf(h *stats.Histogram, sum, max, n uint64) Latency {
+	l := Latency{Max: max}
+	if n == 0 {
+		return l
+	}
+	l.P50 = h.Percentile(0.50)
+	l.P99 = h.Percentile(0.99)
+	l.P999 = h.Percentile(0.999)
+	l.Mean = float64(sum) / float64(n)
+	return l
+}
+
+func (s *Service) report() *Report {
+	cycles := uint64(s.K.Cycle())
+	r := &Report{
+		Config: ReportConfig{
+			Shards: s.Cfg.Shards, Tenants: FormatTenantSpec(s.Cfg.Tenants),
+			TenantCount: len(s.tenants), Keys: s.Cfg.Keys,
+			Duration: s.Cfg.Duration, Seed: s.Cfg.Seed, Overload: s.Cfg.Overload,
+			IngressDepth: s.Cfg.IngressDepth, Deadline: s.Cfg.Deadline,
+			Timeout: s.Cfg.Timeout, Retries: s.Cfg.Retries, Backoff: s.Cfg.Backoff,
+		},
+		Cycles: cycles,
+	}
+
+	var all stats.Histogram
+	var allSum, allMax, allCompleted uint64
+	kcycles := float64(cycles) / 1000
+	for ti := range s.tenants {
+		t := &s.tenants[ti]
+		tr := TenantReport{
+			Tenant: ti, Group: t.group, Priority: t.prio, Rate: t.rate,
+			Generated: t.generated, Completed: t.completed, NotFound: t.notFound,
+			ShedRate: t.shedRate, ShedQueue: t.shedQueue, ShedBreaker: t.shedBreaker,
+			FailedDeadline: t.failedDeadline, FailedTrap: t.failedTrap,
+			Retries: t.retries,
+			Latency: latencyOf(&t.lat, t.latSum, t.latMax, t.completed-t.notFound),
+		}
+		if kcycles > 0 {
+			tr.ThroughputKcycle = float64(t.completed) / kcycles
+		}
+		r.Tenants = append(r.Tenants, tr)
+		all.Merge(&t.lat)
+		allSum += t.latSum
+		if t.latMax > allMax {
+			allMax = t.latMax
+		}
+		allCompleted += t.completed - t.notFound
+	}
+	r.Latency = latencyOf(&all, allSum, allMax, allCompleted)
+	r.Totals = Totals{
+		Generated: s.accepted, Completed: s.completed, Shed: s.shed,
+		Failed: s.failed, Retries: s.reissues,
+	}
+	if kcycles > 0 {
+		r.Totals.ThroughputKcycle = float64(s.completed) / kcycles
+	}
+	if s.accepted > 0 {
+		r.Totals.ShedRate = float64(s.shed) / float64(s.accepted)
+	}
+
+	for _, sh := range s.shards {
+		cs := sh.cache.Ctrl.Stats()
+		r.Shards = append(r.Shards, ShardReport{
+			Shard: sh.idx, Forwarded: sh.forwarded, Timeouts: sh.timeouts,
+			BPCycles:     sh.bpCycles,
+			BreakerState: sh.br.state.String(), BreakerTrips: sh.br.trips,
+			BreakerOpenCycles: sh.br.openCycles,
+			Hits:              cs.Hits, Misses: cs.Misses, Traps: cs.Traps,
+			StallCycles: cs.StallCycles, FillRetries: cs.FillRetries,
+			SpuriousFills: cs.SpuriousFills, ParityScrubs: cs.ParityScrubs,
+		})
+	}
+
+	ds := s.d.Stats()
+	r.DRAM = DRAMReport{
+		Reads: ds.Reads, Writes: ds.Writes, RowHits: ds.RowHits,
+		RowMisses: ds.RowMisses, BusBusy: ds.BusBusy, PeakPending: ds.PeakPending,
+	}
+	if s.inj != nil {
+		r.Faults = &FaultReport{
+			Drops: s.inj.Drops, Delays: s.inj.Delays,
+			Clogs: s.inj.Clogs, Flips: s.inj.Flips,
+		}
+	}
+	return r
+}

@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TenantGroup describes a homogeneous group of synthetic open-loop
+// tenants: each tenant independently offers requests at Rate per cycle
+// (optionally modulated by an on/off burst pattern) over a zipf-skewed
+// slice of the shared key space.
+type TenantGroup struct {
+	Count    int     // tenants in the group (1 .. 1<<20)
+	Priority int     // 0 (lowest) .. 7 (highest); lowest sheds first
+	Rate     float64 // per-tenant arrival probability per cycle, in (0, 1]
+	Skew     float64 // zipf key-popularity exponent, in [0, 8] (0 = uniform)
+	BurstLen int     // on/off burst period in cycles (0 = steady arrivals)
+	BurstOn  float64 // fraction of the period spent bursting, in (0, 1]
+}
+
+// Spec-grammar limits; the fuzzer leans on these to keep parsed configs
+// inside what the service can actually simulate.
+const (
+	maxGroupCount = 1 << 20
+	maxPriority   = 7
+	maxSkew       = 8
+	maxBurstLen   = 1 << 20
+)
+
+func (g TenantGroup) validate() error {
+	if g.Count < 1 || g.Count > maxGroupCount {
+		return fmt.Errorf("count %d outside [1, %d]", g.Count, maxGroupCount)
+	}
+	if g.Priority < 0 || g.Priority > maxPriority {
+		return fmt.Errorf("priority %d outside [0, %d]", g.Priority, maxPriority)
+	}
+	if !(g.Rate > 0 && g.Rate <= 1) { // rejects NaN too
+		return fmt.Errorf("rate %v outside (0, 1]", g.Rate)
+	}
+	if !(g.Skew >= 0 && g.Skew <= maxSkew) {
+		return fmt.Errorf("skew %v outside [0, %d]", g.Skew, maxSkew)
+	}
+	if g.BurstLen != 0 {
+		if g.BurstLen < 2 || g.BurstLen > maxBurstLen {
+			return fmt.Errorf("burst period %d outside [2, %d]", g.BurstLen, maxBurstLen)
+		}
+		if !(g.BurstOn > 0 && g.BurstOn <= 1) {
+			return fmt.Errorf("burst duty %v outside (0, 1]", g.BurstOn)
+		}
+	} else if g.BurstOn != 0 {
+		return fmt.Errorf("burst duty %v without a burst period", g.BurstOn)
+	}
+	return nil
+}
+
+// ParseTenantSpec parses the tenant-stream mini-language used by
+// xcache-serve's -tenants flag. Groups are joined by ';':
+//
+//	group  := COUNT [ '@' PRIORITY ] [ ':' kv ( ',' kv )* ]
+//	kv     := 'rate=' FLOAT | 'skew=' FLOAT | 'burst=' LEN '/' DUTY
+//
+// e.g. "8@0:rate=0.05;56@2:rate=0.01,skew=1.2,burst=2000/0.25" — eight
+// priority-0 tenants at 5% load each plus 56 background tenants with a
+// skewed, bursty pattern. Defaults: priority 0, rate 0.01, skew 0, no
+// bursting. FormatTenantSpec is the canonical inverse.
+func ParseTenantSpec(s string) ([]TenantGroup, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("serve: empty tenant spec")
+	}
+	var groups []TenantGroup
+	for gi, part := range strings.Split(s, ";") {
+		g, err := parseGroup(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant group %d %q: %w", gi, part, err)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+func parseGroup(s string) (TenantGroup, error) {
+	g := TenantGroup{Priority: 0, Rate: 0.01}
+	head := s
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		head = s[:i]
+		for _, kv := range strings.Split(s[i+1:], ",") {
+			if err := parseKV(&g, strings.TrimSpace(kv)); err != nil {
+				return g, err
+			}
+		}
+	}
+	if i := strings.IndexByte(head, '@'); i >= 0 {
+		p, err := strconv.Atoi(strings.TrimSpace(head[i+1:]))
+		if err != nil {
+			return g, fmt.Errorf("bad priority %q: %v", head[i+1:], err)
+		}
+		g.Priority = p
+		head = head[:i]
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(head))
+	if err != nil {
+		return g, fmt.Errorf("bad count %q: %v", head, err)
+	}
+	g.Count = n
+	if err := g.validate(); err != nil {
+		return g, err
+	}
+	return g, nil
+}
+
+func parseKV(g *TenantGroup, kv string) error {
+	key, val, ok := strings.Cut(kv, "=")
+	if !ok {
+		return fmt.Errorf("bad key=value %q", kv)
+	}
+	switch key {
+	case "rate":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad rate %q: %v", val, err)
+		}
+		g.Rate = f
+	case "skew":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad skew %q: %v", val, err)
+		}
+		g.Skew = f
+	case "burst":
+		ls, ds, ok := strings.Cut(val, "/")
+		if !ok {
+			return fmt.Errorf("burst wants LEN/DUTY, got %q", val)
+		}
+		l, err := strconv.Atoi(ls)
+		if err != nil {
+			return fmt.Errorf("bad burst period %q: %v", ls, err)
+		}
+		d, err := strconv.ParseFloat(ds, 64)
+		if err != nil {
+			return fmt.Errorf("bad burst duty %q: %v", ds, err)
+		}
+		g.BurstLen, g.BurstOn = l, d
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// FormatTenantSpec renders groups in the canonical spec syntax, the exact
+// inverse of ParseTenantSpec for valid groups (the fuzzer pins the
+// round-trip).
+func FormatTenantSpec(groups []TenantGroup) string {
+	var b strings.Builder
+	for i, g := range groups {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d@%d:rate=%s,skew=%s", g.Count, g.Priority,
+			strconv.FormatFloat(g.Rate, 'g', -1, 64),
+			strconv.FormatFloat(g.Skew, 'g', -1, 64))
+		if g.BurstLen != 0 {
+			fmt.Fprintf(&b, ",burst=%d/%s", g.BurstLen,
+				strconv.FormatFloat(g.BurstOn, 'g', -1, 64))
+		}
+	}
+	return b.String()
+}
+
+// ScaleTenants rescales a tenant mix to a new total tenant count,
+// preserving the groups' proportions (largest-remainder rounding; groups
+// rounded to zero are dropped).
+// It is how the sweep mode reuses one mix across {1, 8, 64, 512}.
+func ScaleTenants(groups []TenantGroup, total int) []TenantGroup {
+	if total <= 0 || len(groups) == 0 {
+		return nil
+	}
+	orig := 0
+	for _, g := range groups {
+		orig += g.Count
+	}
+	out := make([]TenantGroup, 0, len(groups))
+	type frac struct {
+		idx int
+		rem float64
+	}
+	var fracs []frac
+	assigned := 0
+	for i, g := range groups {
+		exact := float64(total) * float64(g.Count) / float64(orig)
+		n := int(exact)
+		fracs = append(fracs, frac{i, exact - float64(n)})
+		g.Count = n
+		assigned += n
+		out = append(out, g)
+	}
+	// Hand the remainder out by largest fractional part, index as the
+	// deterministic tie-break.
+	for assigned < total {
+		best := -1
+		for fi, f := range fracs {
+			if best < 0 || f.rem > fracs[best].rem ||
+				(f.rem == fracs[best].rem && f.idx < fracs[best].idx) {
+				best = fi
+			}
+		}
+		out[fracs[best].idx].Count++
+		fracs[best].rem = -1
+		assigned++
+		if best >= 0 && fracs[best].rem == -1 {
+			// All remainders consumed but tenants still unassigned (total >
+			// len(groups) surplus): round-robin the rest.
+			allSpent := true
+			for _, f := range fracs {
+				if f.rem >= 0 {
+					allSpent = false
+					break
+				}
+			}
+			if allSpent && assigned < total {
+				for i := range fracs {
+					fracs[i].rem = 0
+				}
+			}
+		}
+	}
+	kept := out[:0]
+	for _, g := range out {
+		if g.Count > 0 {
+			kept = append(kept, g)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTenantSpec(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []TenantGroup
+		err  bool
+	}{
+		{name: "count only", in: "8",
+			want: []TenantGroup{{Count: 8, Rate: 0.01}}},
+		{name: "count and priority", in: "4@3",
+			want: []TenantGroup{{Count: 4, Priority: 3, Rate: 0.01}}},
+		{name: "full group", in: "16@2:rate=0.05,skew=0.9,burst=200/0.25",
+			want: []TenantGroup{{Count: 16, Priority: 2, Rate: 0.05, Skew: 0.9, BurstLen: 200, BurstOn: 0.25}}},
+		{name: "two groups", in: "8:rate=0.02;2@7:rate=0.1",
+			want: []TenantGroup{{Count: 8, Rate: 0.02}, {Count: 2, Priority: 7, Rate: 0.1}}},
+		{name: "whitespace tolerated", in: " 8 @ 1 : rate=0.02 ",
+			want: []TenantGroup{{Count: 8, Priority: 1, Rate: 0.02}}},
+		{name: "empty", in: "", err: true},
+		{name: "zero count", in: "0", err: true},
+		{name: "negative count", in: "-3", err: true},
+		{name: "priority too high", in: "4@8", err: true},
+		{name: "bad rate", in: "4:rate=2", err: true},
+		{name: "nan rate", in: "4:rate=NaN", err: true},
+		{name: "bad skew", in: "4:skew=99", err: true},
+		{name: "bad burst duty", in: "4:burst=100/1.5", err: true},
+		{name: "unknown key", in: "4:color=red", err: true},
+		{name: "trailing semicolon", in: "4;", err: true},
+		{name: "huge count", in: "99999999", err: true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := ParseTenantSpec(c.in)
+			if c.err {
+				if err == nil {
+					t.Fatalf("ParseTenantSpec(%q) = %+v, want error", c.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseTenantSpec(%q): %v", c.in, err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("ParseTenantSpec(%q) = %+v, want %+v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+// TestFormatParseRoundTrip: Format is a canonical inverse of Parse.
+func TestFormatParseRoundTrip(t *testing.T) {
+	groups := []TenantGroup{
+		{Count: 8, Rate: 0.01},
+		{Count: 4, Priority: 7, Rate: 0.125, Skew: 1.1},
+		{Count: 100, Priority: 2, Rate: 0.002, BurstLen: 512, BurstOn: 0.5},
+	}
+	spec := FormatTenantSpec(groups)
+	back, err := ParseTenantSpec(spec)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", spec, err)
+	}
+	if !reflect.DeepEqual(groups, back) {
+		t.Fatalf("round trip %q: %+v != %+v", spec, back, groups)
+	}
+}
+
+func TestScaleTenants(t *testing.T) {
+	groups := []TenantGroup{
+		{Count: 3, Rate: 0.01},
+		{Count: 1, Priority: 5, Rate: 0.05},
+	}
+	scaled := ScaleTenants(groups, 64)
+	var total int
+	for _, g := range scaled {
+		total += g.Count
+	}
+	if total != 64 {
+		t.Fatalf("scaled total %d, want 64", total)
+	}
+	// Proportions approximately preserved (3:1).
+	if scaled[0].Count != 48 || scaled[1].Count != 16 {
+		t.Errorf("scaled counts %d,%d; want 48,16", scaled[0].Count, scaled[1].Count)
+	}
+	// Non-count fields untouched.
+	if scaled[1].Priority != 5 || scaled[1].Rate != 0.05 {
+		t.Error("scaling corrupted group fields")
+	}
+	// Scaling to fewer tenants than groups keeps every group alive.
+	tiny := ScaleTenants(groups, 1)
+	total = 0
+	for _, g := range tiny {
+		total += g.Count
+	}
+	if total < 1 {
+		t.Fatalf("scaled-to-1 total %d", total)
+	}
+}

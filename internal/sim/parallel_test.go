@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pipeWorker pops from its input queue, transforms, pushes to its output
+// queue: the queue-isolated component shape Parallelize is contracted for.
+type pipeWorker struct {
+	in, out *Queue[uint64]
+	sum     uint64
+	ticks   uint64
+}
+
+func (w *pipeWorker) Tick(c Cycle) {
+	w.ticks++
+	for {
+		v, ok := w.in.Pop()
+		if !ok {
+			return
+		}
+		w.sum += v
+		w.out.MustPush(v*3 + uint64(c)&1)
+	}
+}
+
+// feeder pushes a deterministic stream into every worker input.
+type feeder struct {
+	ins []*Queue[uint64]
+	n   uint64
+}
+
+func (f *feeder) Tick(c Cycle) {
+	for i, q := range f.ins {
+		if q.CanPush() {
+			f.n++
+			q.MustPush(f.n*7 + uint64(i))
+		}
+	}
+}
+
+// runPipeline builds feeder -> N workers -> sinks, optionally grouped,
+// runs it, and fingerprints the complete observable state.
+func runPipeline(t *testing.T, workers, tickWorkers int, group bool) string {
+	t.Helper()
+	k := NewKernel()
+	f := &feeder{}
+	k.Add(f)
+	var ws []*pipeWorker
+	var members []Component
+	sinks := make([]*Queue[uint64], workers)
+	var drained []uint64
+	for i := 0; i < workers; i++ {
+		in := NewQueue[uint64](k, fmt.Sprintf("in%d", i), 4)
+		out := NewQueue[uint64](k, fmt.Sprintf("out%d", i), 1024)
+		w := &pipeWorker{in: in, out: out}
+		k.Add(w)
+		f.ins = append(f.ins, in)
+		ws = append(ws, w)
+		members = append(members, w)
+		sinks[i] = out
+	}
+	if group {
+		if err := k.Parallelize(members...); err != nil {
+			t.Fatalf("Parallelize: %v", err)
+		}
+	}
+	k.SetTickWorkers(tickWorkers)
+	for i := 0; i < 200; i++ {
+		k.Step()
+	}
+	fp := ""
+	for i, w := range ws {
+		fp += fmt.Sprintf("w%d:sum=%d,ticks=%d;", i, w.sum, w.ticks)
+		for {
+			v, ok := sinks[i].Pop()
+			if !ok {
+				break
+			}
+			drained = append(drained, v)
+		}
+		fp += fmt.Sprintf("out=%v;", drained)
+		drained = drained[:0]
+	}
+	return fp
+}
+
+// TestParallelizeResultInvariant: grouping components and ticking them on
+// any worker count yields byte-identical results to plain serial
+// registration order.
+func TestParallelizeResultInvariant(t *testing.T) {
+	base := runPipeline(t, 8, 0, false)
+	for _, tw := range []int{0, 1, 4, 16} {
+		if got := runPipeline(t, 8, tw, true); got != base {
+			t.Errorf("tickWorkers=%d diverged from ungrouped serial:\n got %s\nwant %s", tw, got, base)
+		}
+	}
+}
+
+// TestParallelizeValidation: unregistered and duplicate members are
+// rejected, and a rejected call leaves the kernel's ordering untouched.
+func TestParallelizeValidation(t *testing.T) {
+	k := NewKernel()
+	a := &pipeWorker{in: NewQueue[uint64](k, "a", 4), out: NewQueue[uint64](k, "ao", 4)}
+	b := &pipeWorker{in: NewQueue[uint64](k, "b", 4), out: NewQueue[uint64](k, "bo", 4)}
+	k.Add(a)
+	if err := k.Parallelize(a, b); err == nil {
+		t.Error("unregistered member accepted")
+	}
+	if err := k.Parallelize(a, a); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if err := k.Parallelize(); err != nil {
+		t.Errorf("empty Parallelize should be a no-op, got %v", err)
+	}
+	if err := k.Parallelize(a); err != nil {
+		t.Errorf("valid Parallelize failed: %v", err)
+	}
+	// a is now inside a group: regrouping it must fail.
+	if err := k.Parallelize(a); err == nil {
+		t.Error("regrouping a grouped member accepted")
+	}
+}
+
+// TestComponentsFlattensGroups: introspection (check.Attach discovery)
+// sees through tick groups.
+func TestComponentsFlattensGroups(t *testing.T) {
+	k := NewKernel()
+	a := &pipeWorker{in: NewQueue[uint64](k, "a", 4), out: NewQueue[uint64](k, "ao", 4)}
+	b := &pipeWorker{in: NewQueue[uint64](k, "b", 4), out: NewQueue[uint64](k, "bo", 4)}
+	k.Add(a)
+	k.Add(b)
+	if err := k.Parallelize(a, b); err != nil {
+		t.Fatal(err)
+	}
+	var found int
+	for _, c := range k.Components() {
+		if c == Component(a) || c == Component(b) {
+			found++
+		}
+		if _, isGroup := c.(*tickGroup); isGroup {
+			t.Error("Components leaked a raw tickGroup")
+		}
+	}
+	if found != 2 {
+		t.Errorf("Components found %d of 2 grouped members", found)
+	}
+}

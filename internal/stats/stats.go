@@ -180,6 +180,14 @@ func (h *Histogram) Add(v uint64) {
 	h[b]++
 }
 
+// Merge adds other's counts into h, so per-tenant or per-shard histograms
+// aggregate into fleet-wide percentiles without re-recording samples.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other {
+		h[i] += c
+	}
+}
+
 // Count returns the number of recorded values.
 func (h *Histogram) Count() uint64 {
 	var n uint64
