@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak servesmoke fuzz-smoke fuzz bench bench-json ci
+.PHONY: verify vet fmt golden race faultsmoke soak servesmoke approx-check fuzz-smoke fuzz bench bench-json ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -48,14 +48,26 @@ soak:
 servesmoke:
 	$(GO) test -race -count=1 -run 'TestSmoke|TestDeterminism|TestChaosSoak' ./internal/serve
 
+# Approx-tier validation: the internal/approx unit+property tests plus
+# the scale-25 approx-vs-exact harness (TestApproxErrorBounds fails if
+# any approximate cell exceeds its declared error bound or the work
+# reduction drops below 10x) and the cross-worker byte-determinism
+# check. The exact cells come from the same content-addressed run cache
+# the golden suite populates, so a warm cache finishes in seconds.
+approx-check:
+	$(GO) test -count=1 ./internal/approx
+	$(GO) test -count=1 -run 'TestApproxErrorBounds|TestApproxDeterminism' ./internal/exp
+
 # Fuzz smoke: replay the checked-in seed corpora (testdata/fuzz/) through
 # every fuzz target deterministically — no -fuzz randomness, so it is a
 # stable CI tier (~seconds). FuzzDecode/FuzzAssemble pin the ISA layer;
 # FuzzVerify pins accepts-implies-no-structural-trap on a live
 # controller; FuzzParseTenantSpec pins the xcache-serve tenant grammar
-# (accept implies valid, canonical-format round-trip).
+# (accept implies valid, canonical-format round-trip);
+# FuzzIntervalPlan/FuzzReplayTags pin the approx tier's
+# reject-degenerate-plans-with-typed-errors contract.
 fuzz-smoke:
-	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl ./internal/serve
+	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl ./internal/serve ./internal/approx
 
 # Open-ended fuzzing (not part of ci): 30s per target, promote anything
 # interesting from the build cache into testdata/fuzz/ before committing.
@@ -64,6 +76,8 @@ fuzz:
 	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/isa
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s ./internal/ctrl
 	$(GO) test -fuzz FuzzParseTenantSpec -fuzztime 30s ./internal/serve
+	$(GO) test -fuzz FuzzIntervalPlan -fuzztime 30s ./internal/approx
+	$(GO) test -fuzz FuzzReplayTags -fuzztime 30s ./internal/approx
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
@@ -77,4 +91,4 @@ bench:
 bench-json:
 	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -json BENCH_0.json >/dev/null
 
-ci: verify race faultsmoke soak servesmoke fuzz-smoke
+ci: verify race faultsmoke soak servesmoke approx-check fuzz-smoke

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	xcache-bench [-scale N] [-parallel N] [-v] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4,btree,ablation]
-//	             [-partial] [-checkpoint dir] [-retries N] [-backoff dur] [-spec-wall dur]
+//	             [-approx] [-partial] [-checkpoint dir] [-retries N] [-backoff dur] [-spec-wall dur]
 //
 // scale divides the published workload sizes (and cache capacities with
 // them); -scale 1 runs the paper-scale configuration and takes several
@@ -13,6 +13,13 @@
 // every worker count. -v prints the runner statistics (runs
 // launched/cached/failed, per-run cycles and wall time, peak workers) on
 // stderr.
+//
+// -approx additionally emits the approximate evaluation tier
+// (internal/approx): the tag-replay and sampled-interval variants of the
+// cacheDiv/geometry sweeps, with every cell annotated exact, tags or
+// interval, plus the approx_error validation table comparing each
+// approximate cell against the exact simulator under the tier's declared
+// error bounds.
 //
 // -json FILE additionally writes every selected figure's metrics, notes
 // and table rows as one machine-readable JSON document. Everything in
@@ -110,6 +117,7 @@ func main() {
 	parallel := flag.Int("parallel", defaultWorkers(), "sweep-engine workers (results are identical for any value)")
 	verbose := flag.Bool("v", false, "print runner statistics (launched/cached/failed, per-run wall time)")
 	figs := flag.String("fig", "all", "comma-separated ids (4,7,14..20, t1..t4, btree, ablation) or 'all'")
+	approxTier := flag.Bool("approx", false, "emit the approximate evaluation tier (tag replay + sampled intervals) with per-cell exact|tags|interval annotation and error bounds")
 	partial := flag.Bool("partial", false, "annotate failed cells instead of aborting the run")
 	checkpoint := flag.String("checkpoint", "", "journal completed runs to this directory and resume from it")
 	retries := flag.Int("retries", 0, "retry transiently failing runs up to N times (deterministic backoff)")
@@ -118,10 +126,24 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable (and byte-reproducible) result baseline to this file")
 	flag.Parse()
 
+	// validFigs is the closed set of -fig ids; anything else is a typo
+	// worth an error, not a silently empty run.
+	validFigs := []string{"4", "7", "14", "15", "16", "17", "18", "19", "20",
+		"t1", "t2", "t3", "t4", "btree", "ablation"}
 	want := map[string]bool{}
 	if *figs != "all" {
+		valid := map[string]bool{}
+		for _, id := range validFigs {
+			valid[id] = true
+		}
 		for _, f := range strings.Split(*figs, ",") {
-			want[strings.TrimSpace(f)] = true
+			id := strings.TrimSpace(f)
+			if !valid[id] {
+				fmt.Fprintf(os.Stderr, "xcache-bench: unknown -fig id %q (valid ids: %s, or 'all')\n",
+					id, strings.Join(validFigs, ", "))
+				os.Exit(2)
+			}
+			want[id] = true
 		}
 	}
 	sel := func(id string) bool { return *figs == "all" || want[id] }
@@ -225,6 +247,11 @@ func main() {
 	if sel("ablation") {
 		tolerate("ablation-prog", func() (*exp.Out, error) { return exp.AblationProgrammability(run, *scale) })
 		tolerate("ablation-design", func() (*exp.Out, error) { return exp.AblationDesignChoices(run, *scale) })
+	}
+	if *approxTier {
+		tolerate("approx-fig17", func() (*exp.Out, error) { return exp.ApproxCacheDiv(run, *scale) })
+		tolerate("approx-geom", func() (*exp.Out, error) { return exp.ApproxGeometry(run, *scale) })
+		tolerate("approx_error", func() (*exp.Out, error) { return exp.ApproxError(run, *scale) })
 	}
 
 	for _, o := range outs {

@@ -1,0 +1,257 @@
+package approx
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xcache/internal/check"
+	"xcache/internal/core"
+	"xcache/internal/ctrl"
+	"xcache/internal/dsa"
+	"xcache/internal/exp/runner"
+)
+
+// testScale keeps package tests in the sub-second range while leaving
+// enough probes (~13k) for merges, evictions and replays to occur.
+const testScale = 60
+
+func testSpec() runner.Spec {
+	return runner.Spec{
+		DSA: runner.DSAWidx, Kind: dsa.KindXCache,
+		Workload: "TPC-H-22", Scale: testScale,
+	}
+}
+
+// testCapture memoises the donor run across tests.
+var (
+	capOnce sync.Once
+	capVal  *Capture
+	capErr  error
+)
+
+func testCapture(t *testing.T) *Capture {
+	t.Helper()
+	capOnce.Do(func() { capVal, capErr = CaptureWidx(testSpec()) })
+	if capErr != nil {
+		t.Fatalf("CaptureWidx: %v", capErr)
+	}
+	return capVal
+}
+
+// donorGeometry reproduces the exact path's scaling of the donor config.
+func donorGeometry(scale int) core.Config {
+	return core.WidxConfig().Scaled(runner.CacheDiv(scale))
+}
+
+func TestCaptureSelfConsistent(t *testing.T) {
+	cap := testCapture(t)
+	if len(cap.Events) == 0 {
+		t.Fatal("capture recorded no events")
+	}
+	if cap.DonorHits != cap.Donor.OnChipHits || cap.DonorMisses != cap.Donor.OnChipMisses {
+		t.Fatalf("trace classes %d/%d disagree with donor result %d/%d",
+			cap.DonorHits, cap.DonorMisses, cap.Donor.OnChipHits, cap.Donor.OnChipMisses)
+	}
+	if !cap.Donor.Checked {
+		t.Fatal("donor run failed functional validation")
+	}
+}
+
+// TestTagSimSingleConfigExact is the tier's keystone property: Engine A
+// replayed against the donor's own geometry must reproduce the full
+// simulator's controller hit/miss counts bit-exactly, with zero
+// synthesized walks.
+func TestTagSimSingleConfigExact(t *testing.T) {
+	cap := testCapture(t)
+	g := donorGeometry(testScale)
+	res, err := ReplayTags(cap, []TagConfig{{Name: "donor", Sets: g.Sets, Ways: g.Ways}})
+	if err != nil {
+		t.Fatalf("ReplayTags: %v", err)
+	}
+	r := res[0]
+	if r.Hits != cap.Donor.OnChipHits || r.Misses != cap.Donor.OnChipMisses {
+		t.Fatalf("donor replay %d/%d, exact simulator %d/%d",
+			r.Hits, r.Misses, cap.Donor.OnChipHits, cap.Donor.OnChipMisses)
+	}
+	if r.Synthesized != 0 {
+		t.Fatalf("donor replay synthesized %d walks; must be 0", r.Synthesized)
+	}
+}
+
+// TestTagSimMultiConfigIndependence: evaluating the donor geometry
+// alongside others in one pass must not perturb it, and capacity must
+// order hit rates sanely.
+func TestTagSimMultiConfigIndependence(t *testing.T) {
+	cap := testCapture(t)
+	g := donorGeometry(testScale)
+	cfgs := []TagConfig{
+		{Name: "eighth", Sets: g.Sets / 8, Ways: g.Ways},
+		{Name: "donor", Sets: g.Sets, Ways: g.Ways},
+		{Name: "double", Sets: g.Sets * 2, Ways: g.Ways},
+	}
+	res, err := ReplayTags(cap, cfgs)
+	if err != nil {
+		t.Fatalf("ReplayTags: %v", err)
+	}
+	if res[1].Hits != cap.Donor.OnChipHits || res[1].Misses != cap.Donor.OnChipMisses {
+		t.Fatalf("donor cell perturbed by co-evaluated configs: %d/%d vs %d/%d",
+			res[1].Hits, res[1].Misses, cap.Donor.OnChipHits, cap.Donor.OnChipMisses)
+	}
+	if res[0].HitRate() > res[1].HitRate() {
+		t.Fatalf("eighth-capacity hit rate %.4f exceeds donor %.4f",
+			res[0].HitRate(), res[1].HitRate())
+	}
+	if res[2].HitRate() < res[1].HitRate() {
+		t.Fatalf("double-capacity hit rate %.4f below donor %.4f",
+			res[2].HitRate(), res[1].HitRate())
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	cap1 := testCapture(t)
+	cap2, err := CaptureWidx(testSpec())
+	if err != nil {
+		t.Fatalf("second capture: %v", err)
+	}
+	if !reflect.DeepEqual(cap1.Events, cap2.Events) {
+		t.Fatal("two captures of the same spec produced different event streams")
+	}
+	if cap1.Donor != cap2.Donor {
+		t.Fatal("two captures of the same spec produced different donor results")
+	}
+}
+
+func TestCaptureRejects(t *testing.T) {
+	cases := map[string]runner.Spec{
+		"wrong dsa":  {DSA: runner.DSADASX, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: testScale},
+		"wrong kind": {DSA: runner.DSAWidx, Kind: dsa.KindBaseline, Workload: "TPC-H-22", Scale: testScale},
+		"hardened":   {DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: testScale, Check: true},
+		"faults": {DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: testScale,
+			Faults: check.FaultConfig{DropResp: 0.01}},
+		"windowed": {DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: testScale, WinLen: 10},
+		"threaded": {DSA: runner.DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: testScale,
+			Mode: ctrl.ModeThread},
+	}
+	for name, spec := range cases {
+		if _, err := CaptureWidx(spec); !errors.Is(err, ErrUnsupported) {
+			t.Errorf("%s: want ErrUnsupported, got %v", name, err)
+		}
+	}
+}
+
+func TestReplayTagsErrors(t *testing.T) {
+	cap := testCapture(t)
+	cases := map[string][]TagConfig{
+		"empty":     {},
+		"unnamed":   {{Sets: 64, Ways: 8}},
+		"duplicate": {{Name: "a", Sets: 64, Ways: 8}, {Name: "a", Sets: 32, Ways: 8}},
+		"zero sets": {{Name: "a", Sets: 0, Ways: 8}},
+		"non-pow2":  {{Name: "a", Sets: 48, Ways: 8}},
+		"zero ways": {{Name: "a", Sets: 64, Ways: 0}},
+	}
+	for name, cfgs := range cases {
+		if _, err := ReplayTags(cap, cfgs); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: want ErrBadConfig, got %v", name, err)
+		}
+	}
+	if _, err := ReplayTags(nil, []TagConfig{{Name: "a", Sets: 64, Ways: 8}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil capture: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestIntervalPlanErrors(t *testing.T) {
+	cases := map[string]IntervalPlan{
+		"zero windows":     {Windows: 0, WindowFrac: 0.1},
+		"negative windows": {Windows: -3, WindowFrac: 0.1},
+		"zero frac":        {Windows: 2, WindowFrac: 0},
+		"frac > 1":         {Windows: 2, WindowFrac: 1.5},
+		"nan frac":         {Windows: 2, WindowFrac: math.NaN()},
+		"inf frac":         {Windows: 2, WindowFrac: math.Inf(1)},
+		"neg warmup":       {Windows: 2, WindowFrac: 0.1, WarmupFrac: -0.2},
+		"warmup >= 1":      {Windows: 2, WindowFrac: 0.1, WarmupFrac: 1},
+		"nan warmup":       {Windows: 2, WindowFrac: 0.1, WarmupFrac: math.NaN()},
+		"warmup too long":  {Windows: 2, WindowFrac: 0.5, WarmupFrac: 0.9},
+	}
+	for name, plan := range cases {
+		if _, err := plan.layout(1000); !errors.Is(err, ErrBadPlan) {
+			t.Errorf("%s: want ErrBadPlan, got %v", name, err)
+		}
+	}
+	if _, err := (IntervalPlan{Windows: 1, WindowFrac: 0.1}).layout(0); !errors.Is(err, ErrBadPlan) {
+		t.Errorf("empty workload: want ErrBadPlan, got %v", err)
+	}
+}
+
+func TestEstimateWidxRejects(t *testing.T) {
+	r := runner.New(1)
+	plan := IntervalPlan{Windows: 2, WindowFrac: 0.05, WarmupFrac: 0.05}
+	spec := testSpec()
+	if _, err := EstimateWidx(nil, spec, plan); !errors.Is(err, ErrBadPlan) {
+		t.Errorf("nil runner: want ErrBadPlan, got %v", err)
+	}
+	bad := spec
+	bad.DSA = runner.DSAGamma
+	if _, err := EstimateWidx(r, bad, plan); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("unsupported dsa: want ErrUnsupported, got %v", err)
+	}
+	bad = spec
+	bad.WinLen = 7
+	if _, err := EstimateWidx(r, bad, plan); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("pre-windowed spec: want ErrUnsupported, got %v", err)
+	}
+	bad = spec
+	bad.Check = true
+	if _, err := EstimateWidx(r, bad, plan); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("hardened spec: want ErrUnsupported, got %v", err)
+	}
+	bad = spec
+	bad.Workload = "no-such-workload"
+	if _, err := EstimateWidx(r, bad, plan); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("unknown workload: want ErrUnsupported, got %v", err)
+	}
+	if _, err := EstimateWidx(r, spec, IntervalPlan{}); !errors.Is(err, ErrBadPlan) {
+		t.Errorf("degenerate plan: want ErrBadPlan, got %v", err)
+	}
+}
+
+func TestEstimateWidxSanity(t *testing.T) {
+	r := runner.New(2)
+	spec := testSpec()
+	plan := IntervalPlan{Windows: 3, WindowFrac: 0.05, WarmupFrac: 0.05}
+	est, err := EstimateWidx(r, spec, plan)
+	if err != nil {
+		t.Fatalf("EstimateWidx: %v", err)
+	}
+	if !est.Checked {
+		t.Fatal("window runs failed functional validation")
+	}
+	exact, err := r.One(spec)
+	if err != nil {
+		t.Fatalf("exact run: %v", err)
+	}
+	if d := math.Abs(est.HitRate - exact.HitRate); d > 0.15 {
+		t.Errorf("hit-rate estimate %.4f vs exact %.4f (|err| %.4f)", est.HitRate, exact.HitRate, d)
+	}
+	if rel := math.Abs(est.Cycles-float64(exact.Cycles)) / float64(exact.Cycles); rel > 0.5 {
+		t.Errorf("cycles estimate %.0f vs exact %d (rel err %.2f)", est.Cycles, exact.Cycles, rel)
+	}
+	if est.SimCycles == 0 || est.SampledProbes == 0 {
+		t.Error("estimate reports no simulated work")
+	}
+	if est.SampledProbes >= est.Probes {
+		t.Errorf("sampled %d probes of %d — not a reduction", est.SampledProbes, est.Probes)
+	}
+
+	// Byte-level determinism across worker counts: a fresh serial runner
+	// must reproduce the estimate exactly.
+	est2, err := EstimateWidx(runner.New(1), spec, plan)
+	if err != nil {
+		t.Fatalf("serial EstimateWidx: %v", err)
+	}
+	if *est != *est2 {
+		t.Fatalf("estimate differs across runners:\n%+v\n%+v", est, est2)
+	}
+}

@@ -1,0 +1,25 @@
+package approx
+
+import "errors"
+
+// Sentinel errors. Every rejection the package can produce wraps one of
+// these, so callers (and the fuzz harness) can classify failures with
+// errors.Is instead of string matching — degenerate plans must surface
+// as typed errors, never panics.
+var (
+	// ErrBadPlan rejects a degenerate interval-sampling plan: zero
+	// windows, a non-positive window, warm-up plus window longer than
+	// the run, or an unsupported confidence level.
+	ErrBadPlan = errors.New("approx: invalid interval plan")
+
+	// ErrBadConfig rejects a degenerate tag-simulation request: no
+	// configurations, duplicate names, or an impossible geometry.
+	ErrBadConfig = errors.New("approx: invalid tag-simulation configuration")
+
+	// ErrUnsupported rejects a capture or estimate over a spec the
+	// approximation tier cannot soundly evaluate (wrong DSA/kind, fault
+	// injection, thread mode, nested windows) — or a donor run whose
+	// trace contains events the replay model cannot mirror exactly
+	// (allocation retries).
+	ErrUnsupported = errors.New("approx: unsupported spec for approximate evaluation")
+)

@@ -1,0 +1,90 @@
+package approx
+
+import (
+	"errors"
+	"testing"
+
+	"xcache/internal/ctrl"
+	"xcache/internal/metatag"
+)
+
+// FuzzIntervalPlan: any plan/workload combination must either fail with
+// the typed ErrBadPlan or lay out exactly Windows in-bounds windows —
+// never panic, never place a window outside the probe trace.
+func FuzzIntervalPlan(f *testing.F) {
+	f.Add(3, 0.05, 0.05, 10000)
+	f.Add(0, 0.1, 0.0, 100)   // zero windows
+	f.Add(2, 0.5, 0.9, 100)   // warm-up longer than the run leaves room for
+	f.Add(1, 1.0, 0.0, 1)     // whole-trace window
+	f.Add(5, -0.1, 0.5, 1000) // negative window
+	f.Add(4, 0.25, -1.0, 0)   // empty workload
+	f.Add(1<<20, 0.001, 0.001, 1<<20)
+	f.Fuzz(func(t *testing.T, windows int, winFrac, warmFrac float64, total int) {
+		plan := IntervalPlan{Windows: windows, WindowFrac: winFrac, WarmupFrac: warmFrac}
+		ws, err := plan.layout(total)
+		if err != nil {
+			if !errors.Is(err, ErrBadPlan) {
+				t.Fatalf("layout error is not ErrBadPlan: %v", err)
+			}
+			return
+		}
+		if len(ws) != windows {
+			t.Fatalf("laid out %d windows, want %d", len(ws), windows)
+		}
+		for i, w := range ws {
+			if w.start < 0 || w.warm < 0 || w.length < 1 {
+				t.Fatalf("window %d degenerate: %+v", i, w)
+			}
+			if w.start+w.warm+w.length > total {
+				t.Fatalf("window %d overruns the %d-probe trace: %+v", i, total, w)
+			}
+		}
+	})
+}
+
+// FuzzReplayTags feeds Engine A adversarial synthetic event streams: the
+// replay model must never panic and must account every admitted request
+// at most once, regardless of stream shape. Events are decoded from raw
+// bytes so the fuzzer can construct orderings the real controller never
+// emits (double allocs, settles without walks, replays never merged).
+func FuzzReplayTags(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, 4, 2)
+	f.Add([]byte{1, 1, 1, 1, 0, 0, 2, 2, 3, 3, 4, 4}, 1, 1)
+	f.Add([]byte{}, 8, 8)
+	f.Fuzz(func(t *testing.T, raw []byte, setsLog, ways int) {
+		if setsLog < 0 || setsLog > 8 || ways < 1 || ways > 16 {
+			return
+		}
+		events := make([]ctrl.TraceEvent, 0, len(raw)/2)
+		reqs := uint64(0)
+		for i := 0; i+1 < len(raw); i += 2 {
+			kind := ctrl.TraceKind(raw[i] % 8)
+			key := metatag.Key{uint64(raw[i+1] % 16)}
+			ev := ctrl.TraceEvent{Kind: kind, Key: key}
+			switch kind {
+			case ctrl.TraceReq:
+				ev.Class = ctrl.ReqClass(raw[i+1] % 3)
+				ev.Replay = raw[i+1]&16 != 0
+				ev.ID = reqs
+				reqs++
+			case ctrl.TraceAlloc:
+				ev.State = int(raw[i+1] % 4)
+			case ctrl.TraceSettle:
+				ev.HasEntry = raw[i+1]&32 != 0
+				ev.Store = raw[i+1]&64 != 0
+			}
+			events = append(events, ev)
+		}
+		cap := &Capture{Events: events}
+		res, err := ReplayTags(cap, []TagConfig{
+			{Name: "fuzz", Sets: 1 << setsLog, Ways: ways},
+		})
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		if res[0].Hits+res[0].Misses > reqs {
+			t.Fatalf("accounted %d+%d requests, stream admitted %d",
+				res[0].Hits, res[0].Misses, reqs)
+		}
+	})
+}

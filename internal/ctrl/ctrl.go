@@ -286,6 +286,10 @@ type Controller struct {
 	// responses for quiesced walkers awaiting response-queue space.
 	trap      *Trap
 	trapResps []MetaResp
+
+	// sink, when non-nil, receives the meta-tag reference trace (see
+	// trace.go); internal/approx replays it against other geometries.
+	sink TraceSink
 }
 
 // fillRec tracks one outstanding DRAM fill for the timeout/retry path.
@@ -565,6 +569,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 			}
 			c.Tags.Account(true)
 			c.consumeReq(fromReplay)
+			c.trace(TraceEvent{Kind: TraceReq, Class: ClassHit, Op: req.Op, ID: req.ID, Key: req.Key, Replay: fromReplay})
 			budget--
 			continue
 		}
@@ -573,6 +578,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 				return // waiter list full: backpressure
 			}
 			c.Tags.Account(true)
+			c.trace(TraceEvent{Kind: TraceReq, Class: ClassMerge, Op: req.Op, ID: req.ID, Key: req.Key, Replay: fromReplay})
 			budget--
 			continue
 		}
@@ -590,6 +596,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 			}
 		}
 		if merged {
+			c.trace(TraceEvent{Kind: TraceReq, Class: ClassMerge, Op: req.Op, ID: req.ID, Key: req.Key, Replay: fromReplay})
 			budget--
 			continue
 		}
@@ -603,6 +610,7 @@ func (c *Controller) frontend(cy sim.Cycle) {
 		}
 		c.Tags.Account(false)
 		c.consumeReq(fromReplay)
+		c.trace(TraceEvent{Kind: TraceReq, Class: ClassMiss, Op: req.Op, ID: req.ID, Key: req.Key, Replay: fromReplay})
 		c.spawn(cy, req)
 		budget--
 	}
@@ -924,6 +932,7 @@ type Drained struct {
 // data-RAM read and tag write. GraphPulse uses this to pop its coalesced
 // events between supersteps.
 func (c *Controller) DrainStable(fn func(Drained)) int {
+	c.trace(TraceEvent{Kind: TraceDrain})
 	n := 0
 	c.Tags.ForEach(func(e *metatag.Entry) {
 		if e.Walker != metatag.NoWalker || e.State != program.StateValid {
@@ -954,6 +963,7 @@ func (c *Controller) DrainStable(fn func(Drained)) int {
 // end-of-round object-cache reload). Dirty data is dropped; DASX caches
 // read-only index objects.
 func (c *Controller) FlushStable() int {
+	c.trace(TraceEvent{Kind: TraceFlush})
 	n := 0
 	c.Tags.ForEach(func(e *metatag.Entry) {
 		if e.Walker != metatag.NoWalker || e.State != program.StateValid {

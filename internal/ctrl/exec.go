@@ -260,11 +260,13 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			// walker; the replay path re-probes once a conflicting walker
 			// settles.
 			c.stats.AllocRetries++
+			c.trace(TraceEvent{Kind: TraceAllocRetry, Key: w.key})
 			c.replay = append(c.replay, w.origin)
 			c.finish(w, false)
 			return stepDone
 		}
 		w.entry = entry
+		c.trace(TraceEvent{Kind: TraceAlloc, Key: w.key, State: w.state})
 		c.reclaim(ev)
 	case isa.OpDeallocM:
 		if w.entry != nil {
@@ -273,6 +275,7 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			}
 			c.Tags.Dealloc(w.entry)
 			w.entry = nil
+			c.trace(TraceEvent{Kind: TraceDealloc, Key: w.key})
 		}
 	case isa.OpUpdate:
 		if w.entry == nil {
@@ -321,6 +324,7 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 				w.entry.Dirty = true
 			}
 		}
+		c.trace(TraceEvent{Kind: TraceSettle, Key: w.key, Store: w.isStore, HasEntry: w.entry != nil})
 		c.finish(w, false)
 		return stepDone
 	case isa.OpAbort:
@@ -331,6 +335,7 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 			c.Tags.Dealloc(w.entry)
 			w.entry = nil
 		}
+		c.trace(TraceEvent{Kind: TraceAbort, Key: w.key})
 		c.finish(w, true)
 		return stepDone
 
@@ -381,6 +386,7 @@ func (c *Controller) step(cy sim.Cycle, r *run) stepStatus {
 				// Capacity exhausted by transient entries: retire and
 				// replay, as with allocm conflicts.
 				c.stats.AllocRetries++
+				c.trace(TraceEvent{Kind: TraceAllocRetry, Key: w.key})
 				if w.entry != nil {
 					c.Tags.Dealloc(w.entry)
 					w.entry = nil

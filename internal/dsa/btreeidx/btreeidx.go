@@ -242,7 +242,7 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	return dsa.Result{
 		DSA: "BTreeIdx", Workload: "zipf", Kind: dsa.KindXCache,
 		Cycles: uint64(k.Cycle()), DRAMAccesses: d.Stats().Accesses(), DRAMReadWords: d.Stats().WordsRead,
-		OnChipHits: cst.Hits, HitRate: cst.HitRate(),
+		OnChipHits: cst.Hits, OnChipMisses: cst.Misses, HitRate: cst.HitRate(),
 		AvgLoadToUse: cst.AvgLoadToUse(), HitLoadToUse: cst.AvgHitLoadToUse(),
 		L2UP50: cst.L2UHist.Percentile(0.5), L2UP99: cst.L2UHist.Percentile(0.99),
 		Occupancy: cst.OccupancyByteCycles,
@@ -346,7 +346,7 @@ func RunAddr(w Work, opt Options) (dsa.Result, error) {
 	return dsa.Result{
 		DSA: "BTreeIdx", Workload: "zipf", Kind: dsa.KindAddr,
 		Cycles: uint64(k.Cycle()), DRAMAccesses: dst.Accesses(), DRAMReadWords: dst.WordsRead,
-		OnChipHits: cache.Stats().Hits, HitRate: cache.Stats().HitRate(),
+		OnChipHits: cache.Stats().Hits, OnChipMisses: cache.Stats().Misses, HitRate: cache.Stats().HitRate(),
 		AvgLoadToUse: eng.Stats().AvgLoadToUse(),
 		Energy:       meter.Energy(energy.DefaultParams()), Checked: okAll,
 	}, nil

@@ -214,7 +214,7 @@ func RunXCache(w widx.Work, opt Options) (dsa.Result, error) {
 	return dsa.Result{
 		DSA: "DASX", Workload: w.Profile.Name, Kind: dsa.KindXCache,
 		Cycles: st.Cycles, DRAMAccesses: st.DRAM.Accesses(), DRAMReadWords: st.DRAM.WordsRead,
-		OnChipHits: st.Ctrl.Hits, HitRate: st.Ctrl.HitRate(),
+		OnChipHits: st.Ctrl.Hits, OnChipMisses: st.Ctrl.Misses, HitRate: st.Ctrl.HitRate(),
 		AvgLoadToUse: st.Ctrl.AvgLoadToUse(), HitLoadToUse: st.Ctrl.AvgHitLoadToUse(),
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
@@ -304,7 +304,7 @@ func RunBaseline(w widx.Work, opt Options) (dsa.Result, error) {
 	return dsa.Result{
 		DSA: "DASX", Workload: w.Profile.Name, Kind: dsa.KindBaseline,
 		Cycles: uint64(k.Cycle()), DRAMAccesses: dst.Accesses(), DRAMReadWords: dst.WordsRead,
-		OnChipHits: cache.Stats().Hits, HitRate: cache.Stats().HitRate(),
+		OnChipHits: cache.Stats().Hits, OnChipMisses: cache.Stats().Misses, HitRate: cache.Stats().HitRate(),
 		AvgLoadToUse: eng.Stats().AvgLoadToUse(),
 		Energy:       meter.Energy(energy.DefaultParams()), Checked: okAll,
 	}, nil

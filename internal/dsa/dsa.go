@@ -39,6 +39,7 @@ type Result struct {
 	DRAMAccesses  uint64
 	DRAMReadWords uint64
 	OnChipHits    uint64
+	OnChipMisses  uint64
 	HitRate       float64
 	AvgLoadToUse  float64 // mean issue→response over all accesses
 	HitLoadToUse  float64 // mean over on-chip hits only (meta-tag short-circuit)

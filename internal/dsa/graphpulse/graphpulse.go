@@ -441,7 +441,7 @@ func run(w Work, opt Options, hardwired bool) (dsa.Result, error) {
 		Cycles:        st.Cycles,
 		DRAMAccesses:  st.DRAM.Accesses() + adj.Stats().Accesses(),
 		DRAMReadWords: st.DRAM.WordsRead + adj.Stats().WordsRead,
-		OnChipHits:    st.Ctrl.Hits, HitRate: st.Ctrl.HitRate(),
+		OnChipHits:    st.Ctrl.Hits, OnChipMisses: st.Ctrl.Misses, HitRate: st.Ctrl.HitRate(),
 		AvgLoadToUse: st.Ctrl.AvgLoadToUse(), HitLoadToUse: st.Ctrl.AvgHitLoadToUse(),
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
@@ -634,7 +634,7 @@ func RunAddr(w Work, opt Options) (dsa.Result, error) {
 		Cycles:        uint64(k.Cycle()),
 		DRAMAccesses:  dst.Accesses() + adj.Stats().Accesses(),
 		DRAMReadWords: dst.WordsRead + adj.Stats().WordsRead,
-		OnChipHits:    cache.Stats().Hits, HitRate: cache.Stats().HitRate(),
+		OnChipHits:    cache.Stats().Hits, OnChipMisses: cache.Stats().Misses, HitRate: cache.Stats().HitRate(),
 		Energy:  meter.Energy(energy.DefaultParams()),
 		Checked: checked,
 	}, nil
@@ -703,7 +703,7 @@ func RunSSSP(w Work, opt Options, src int) (dsa.Result, error) {
 		Cycles:        st.Cycles,
 		DRAMAccesses:  st.DRAM.Accesses() + adj.Stats().Accesses(),
 		DRAMReadWords: st.DRAM.WordsRead + adj.Stats().WordsRead,
-		OnChipHits:    st.Ctrl.Hits, HitRate: st.Ctrl.HitRate(),
+		OnChipHits:    st.Ctrl.Hits, OnChipMisses: st.Ctrl.Misses, HitRate: st.Ctrl.HitRate(),
 		AvgLoadToUse: st.Ctrl.AvgLoadToUse(), HitLoadToUse: st.Ctrl.AvgHitLoadToUse(),
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,

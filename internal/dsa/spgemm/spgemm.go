@@ -409,7 +409,7 @@ func runX(alg Algorithm, w Work, opt Options, hardwired bool) (dsa.Result, error
 		Cycles:        st.Cycles,
 		DRAMAccesses:  st.DRAM.Accesses() + str.DRAMStats().Accesses(),
 		DRAMReadWords: st.DRAM.WordsRead + str.DRAMStats().WordsRead,
-		OnChipHits:    st.Ctrl.Hits, HitRate: st.Ctrl.HitRate(),
+		OnChipHits:    st.Ctrl.Hits, OnChipMisses: st.Ctrl.Misses, HitRate: st.Ctrl.HitRate(),
 		AvgLoadToUse: st.Ctrl.AvgLoadToUse(), HitLoadToUse: st.Ctrl.AvgHitLoadToUse(),
 		L2UP50: st.Ctrl.L2UHist.Percentile(0.5), L2UP99: st.Ctrl.L2UHist.Percentile(0.99),
 		Occupancy: st.Ctrl.OccupancyByteCycles,
@@ -561,7 +561,7 @@ func RunAddr(alg Algorithm, w Work, opt Options) (dsa.Result, error) {
 		Cycles:        uint64(k.Cycle()),
 		DRAMAccesses:  dst.Accesses() + str.DRAMStats().Accesses(),
 		DRAMReadWords: dst.WordsRead + str.DRAMStats().WordsRead,
-		OnChipHits:    cache.Stats().Hits, HitRate: cache.Stats().HitRate(),
+		OnChipHits:    cache.Stats().Hits, OnChipMisses: cache.Stats().Misses, HitRate: cache.Stats().HitRate(),
 		AvgLoadToUse: eng.Stats().AvgLoadToUse(),
 		Energy:       meter.Energy(energy.DefaultParams()), Checked: okAll,
 	}, nil

@@ -23,13 +23,18 @@ import (
 	"xcache/internal/sim"
 )
 
-// Work describes one probe workload.
+// Work describes one probe workload. A nonzero WinLen restricts the run
+// to the probe-trace slice [WinStart, WinStart+WinLen) — the index is
+// built in full, only the probe stream is windowed — which is what the
+// sampled-interval approximation tier (internal/approx) executes.
 type Work struct {
-	NumKeys int
-	Buckets int
-	Probes  int
-	Profile hashidx.Profile
-	Seed    int64
+	NumKeys  int
+	Buckets  int
+	Probes   int
+	Profile  hashidx.Profile
+	Seed     int64
+	WinStart int
+	WinLen   int
 }
 
 // DefaultWork sizes a workload for the given TPC-H profile; scale divides
@@ -60,6 +65,9 @@ type Options struct {
 	// Check attaches the hardening harness (watchdog, invariant checkers,
 	// fault injection) to the X-Cache run; nil runs unsupervised.
 	Check *check.Config
+	// Trace, when non-nil, receives the controller's meta-tag reference
+	// trace (RunXCache only); internal/approx captures through it.
+	Trace ctrl.TraceSink
 }
 
 func (o *Options) defaults() {
@@ -138,10 +146,27 @@ func Spec(shift uint) program.Spec {
 	}
 }
 
-// BuildWorkload lays the index out in img and generates the probe trace.
+// BuildWorkload lays the index out in img and generates the probe trace,
+// applying the Work's window (if any) to the probe stream. The window is
+// clamped to the trace, so a plan sized for a different scale degrades
+// to a shorter window instead of panicking.
 func BuildWorkload(w Work, img *mem.Image) (*hashidx.Index, []uint64) {
 	ix := hashidx.Build(img, hashidx.SeqKeys(w.NumKeys), w.Buckets)
-	return ix, hashidx.Trace(ix, w.Profile, w.Probes, w.Seed)
+	trace := hashidx.Trace(ix, w.Profile, w.Probes, w.Seed)
+	if w.WinLen > 0 {
+		lo, hi := w.WinStart, w.WinStart+w.WinLen
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > len(trace) {
+			lo = len(trace)
+		}
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		trace = trace[lo:hi]
+	}
+	return ix, trace
 }
 
 // datapath drives meta probes against an X-Cache and validates RIDs.
@@ -203,6 +228,9 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 	}
 	sys.Cache.SetEnv(0, ix.Table)
 	sys.Cache.SetEnv(1, hashidx.HashMul)
+	if opt.Trace != nil {
+		sys.Cache.Ctrl.SetTraceSink(opt.Trace)
+	}
 
 	dp := &datapath{c: sys.Cache.Ctrl, trace: trace, ix: ix, issueW: opt.IssueWidth, ok: true}
 	sys.K.Add(dp)
@@ -221,6 +249,7 @@ func RunXCache(w Work, opt Options) (dsa.Result, error) {
 		DRAMAccesses:  st.DRAM.Accesses(),
 		DRAMReadWords: st.DRAM.WordsRead,
 		OnChipHits:    st.Ctrl.Hits,
+		OnChipMisses:  st.Ctrl.Misses,
 		HitRate:       st.Ctrl.HitRate(),
 		AvgLoadToUse:  st.Ctrl.AvgLoadToUse(),
 		HitLoadToUse:  st.Ctrl.AvgHitLoadToUse(),
@@ -350,6 +379,7 @@ func runWalked(w Work, opt Options, kind dsa.Kind, hashCycles, contexts int) (ds
 		DRAMAccesses:  dst.Accesses(),
 		DRAMReadWords: dst.WordsRead,
 		OnChipHits:    cache.Stats().Hits,
+		OnChipMisses:  cache.Stats().Misses,
 		HitRate:       cache.Stats().HitRate(),
 		AvgLoadToUse:  eng.Stats().AvgLoadToUse(),
 		Energy:        meter.Energy(energy.DefaultParams()),

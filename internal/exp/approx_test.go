@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"xcache/internal/exp/runner"
+)
+
+// TestApproxErrorBounds is the tier's acceptance gate (and the
+// `make approx-check` target): at the golden scale every approximate
+// cell must land within its declared error bound, and the tier must cut
+// simulated work by at least 10x over the exact cells it replaces.
+func TestApproxErrorBounds(t *testing.T) {
+	r := runner.New(8)
+	out, err := ApproxError(r, goldenScale)
+	if err != nil {
+		t.Fatalf("ApproxError: %v", err)
+	}
+	t.Logf("work_reduction=%.1fx max_hit_rate_err=%.4f max_cycles_rel_err=%.4f",
+		out.Metrics["work_reduction"], out.Metrics["max_hit_rate_err"], out.Metrics["max_cycles_rel_err"])
+	if out.Metrics["cells_within_bounds"] != 1 {
+		t.Errorf("approximate cells exceed their declared bounds:\n%s", out.Table)
+	}
+	if red := out.Metrics["work_reduction"]; red < 10 {
+		t.Errorf("work reduction %.2fx < 10x", red)
+	}
+}
+
+// TestApproxDeterminism: the three approx outputs must be byte-identical
+// across runner worker counts — the same contract the exact figures hold.
+func TestApproxDeterminism(t *testing.T) {
+	render := func(workers int) []byte {
+		r := runner.New(workers)
+		var buf bytes.Buffer
+		for _, f := range []func(*runner.Runner, int) (*Out, error){ApproxCacheDiv, ApproxGeometry, ApproxError} {
+			out, err := f(r, goldenScale)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			b, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("approx outputs differ between 1-worker and 8-worker runners")
+	}
+}

