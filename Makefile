@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak servesmoke approx-check fuzz-smoke fuzz bench bench-json ci
+.PHONY: verify vet fmt golden race faultsmoke soak servesmoke approx-check fuzz-smoke fuzz execdiff bench bench-json bench-json-0 bench-diff ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -75,20 +75,43 @@ fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/isa
 	$(GO) test -fuzz FuzzAssemble -fuzztime 30s ./internal/isa
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s ./internal/ctrl
+	$(GO) test -fuzz FuzzExecDiff -fuzztime 30s ./internal/ctrl
 	$(GO) test -fuzz FuzzParseTenantSpec -fuzztime 30s ./internal/serve
 	$(GO) test -fuzz FuzzIntervalPlan -fuzztime 30s ./internal/approx
 	$(GO) test -fuzz FuzzReplayTags -fuzztime 30s ./internal/approx
 
+# Executor equivalence, race-gated: the per-cycle lockstep differential
+# harness and trap-parity matrix over both microcode executors
+# (internal/ctrl), plus the end-to-end result-equivalence sweep across
+# every DSA's real walker program (internal/exp/runner).
+execdiff:
+	$(GO) test -race -count=1 -run 'TestExecDiff|TestTrapMatrix|TestTrapMalformedBinaryRegression|TestMakeRoom|TestAllocRetry' ./internal/ctrl
+	$(GO) test -race -count=1 -run TestExecPathEquivalence ./internal/exp/runner
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 
-# Perf baseline: regenerate the committed BENCH_0.json. Everything in
-# the file is seed-pinned and worker-count-invariant, so this must be
-# byte-identical to the checked-in copy on an unchanged tree (wall time
-# goes to stderr, not into the file). Speed PRs (ROADMAP item 1) diff
-# against it: identical bytes prove the optimisation is
-# result-invariant; the stderr wall line gives the speed trajectory.
+# Perf baseline: regenerate the committed BENCH_1.json — the full
+# deterministic figure set plus the hotloop executor microbenchmark.
+# The deterministic figures are seed-pinned and worker-count-invariant
+# (byte-identical to BENCH_0.json's); the hotloop figure carries
+# wall-clock ns-per-action and the fast-path speedup, which are
+# machine-dependent by nature.
 bench-json:
+	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -hotloop -json BENCH_1.json >/dev/null
+
+# The original perf baseline, without the wall-clock hotloop figure:
+# regenerating it on an unchanged tree must be byte-identical to the
+# checked-in copy, which is the result-invariance proof speed PRs rely
+# on (ROADMAP item 1).
+bench-json-0:
 	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -json BENCH_0.json >/dev/null
 
-ci: verify race faultsmoke soak servesmoke approx-check fuzz-smoke
+# Perf gate: re-run the evaluation and compare against the committed
+# BENCH_1.json. Deterministic figures must match exactly; the hotloop
+# fast-path speedup may not regress more than 5%. Fails (exit 1) on
+# either violation.
+bench-diff:
+	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -hotloop -bench-diff BENCH_1.json >/dev/null
+
+ci: verify race faultsmoke soak servesmoke approx-check fuzz-smoke execdiff

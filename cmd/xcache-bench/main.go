@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	xcache-bench [-scale N] [-parallel N] [-v] [-fig all|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4,btree,ablation]
+//	xcache-bench [-scale N] [-parallel N] [-v] [-fig all|none|4,7,14,15,16,17,18,19,20,t1,t2,t3,t4,btree,ablation]
 //	             [-approx] [-partial] [-checkpoint dir] [-retries N] [-backoff dur] [-spec-wall dur]
+//	             [-hotloop] [-hotloop-exec both|interp|fast] [-bench-diff FILE]
 //
 // scale divides the published workload sizes (and cache capacities with
 // them); -scale 1 runs the paper-scale configuration and takes several
@@ -20,6 +21,19 @@
 // interval, plus the approx_error validation table comparing each
 // approximate cell against the exact simulator under the tier's declared
 // error bounds.
+//
+// -hotloop appends the controller hot-loop microbenchmark (figure id
+// "hotloop"): the ALU-dense spin routine timed on the selected executor
+// backends, reporting ns-per-action and the pre-decoded fast path's
+// speedup over the reference interpreter. Wall-clock metrics are
+// machine-dependent; the deterministic figures stay byte-reproducible.
+// -fig none selects no standard figures, so `-fig none -hotloop` runs
+// the microbenchmark alone.
+//
+// -bench-diff FILE compares the run against a committed baseline: every
+// deterministic figure must match the baseline exactly, and the hotloop
+// speedup may not regress more than 5% below the baseline's. A
+// violation exits 1 — this is the `make bench-diff` perf gate.
 //
 // -json FILE additionally writes every selected figure's metrics, notes
 // and table rows as one machine-readable JSON document. Everything in
@@ -124,12 +138,16 @@ func main() {
 	backoff := flag.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt)")
 	specWall := flag.Duration("spec-wall", 0, "per-run wall deadline (0 = none)")
 	jsonPath := flag.String("json", "", "write a machine-readable (and byte-reproducible) result baseline to this file")
+	hotloop := flag.Bool("hotloop", false, "append the controller hot-loop executor microbenchmark (figure id 'hotloop')")
+	hotloopExec := flag.String("hotloop-exec", "both", "hotloop executor selection: both|interp|fast")
+	benchDiff := flag.String("bench-diff", "", "compare against this baseline file: exact match for deterministic figures, 5% tolerance on the hotloop speedup; exit 1 on regression")
 	flag.Parse()
 
 	// validFigs is the closed set of -fig ids; anything else is a typo
 	// worth an error, not a silently empty run.
+	// "none" selects no standard figures (for -hotloop-only runs).
 	validFigs := []string{"4", "7", "14", "15", "16", "17", "18", "19", "20",
-		"t1", "t2", "t3", "t4", "btree", "ablation"}
+		"t1", "t2", "t3", "t4", "btree", "ablation", "none"}
 	want := map[string]bool{}
 	if *figs != "all" {
 		valid := map[string]bool{}
@@ -248,6 +266,9 @@ func main() {
 		tolerate("ablation-prog", func() (*exp.Out, error) { return exp.AblationProgrammability(run, *scale) })
 		tolerate("ablation-design", func() (*exp.Out, error) { return exp.AblationDesignChoices(run, *scale) })
 	}
+	if *hotloop {
+		tolerate("hotloop", func() (*exp.Out, error) { return exp.Hotloop(*hotloopExec, 512) })
+	}
 	if *approxTier {
 		tolerate("approx-fig17", func() (*exp.Out, error) { return exp.ApproxCacheDiv(run, *scale) })
 		tolerate("approx-geom", func() (*exp.Out, error) { return exp.ApproxGeometry(run, *scale) })
@@ -292,4 +313,63 @@ func main() {
 		fmt.Fprint(os.Stderr, st.String())
 		fmt.Fprint(os.Stderr, st.Detail())
 	}
+
+	if *benchDiff != "" {
+		if err := diffBaseline(*benchDiff, outs); err != nil {
+			fmt.Fprintln(os.Stderr, "xcache-bench: bench-diff:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "xcache-bench: bench-diff OK against %s\n", *benchDiff)
+	}
+}
+
+// diffBaseline checks the current outs against a committed baseline
+// file. Deterministic figures must match bit-for-bit (they are
+// seed-pinned and worker-count-invariant, so any drift is a real result
+// change); the wall-clock hotloop figure is gated on its speedup ratio
+// instead, tolerating up to a 5% regression.
+func diffBaseline(path string, outs []*exp.Out) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	current := map[string]*exp.Out{}
+	for _, o := range outs {
+		current[o.ID] = o
+	}
+	for _, bf := range base.Figures {
+		cur, ok := current[bf.ID]
+		if !ok {
+			return fmt.Errorf("baseline figure %q missing from this run", bf.ID)
+		}
+		if bf.ID == "hotloop" {
+			bs, cs := bf.Metrics["speedup_x"], cur.Metrics["speedup_x"]
+			if bs > 0 && cs < bs*0.95 {
+				return fmt.Errorf("hotloop speedup regressed >5%%: baseline %.2fx, now %.2fx", bs, cs)
+			}
+			continue
+		}
+		cf := figureResult{ID: cur.ID, Metrics: cur.Metrics, Notes: cur.Notes}
+		if cur.Table != nil {
+			cf.Title = cur.Table.Title
+			cf.Header = cur.Table.Header
+			cf.Rows = cur.Table.Rows
+		}
+		bj, err := json.Marshal(bf)
+		if err != nil {
+			return err
+		}
+		cj, err := json.Marshal(cf)
+		if err != nil {
+			return err
+		}
+		if string(bj) != string(cj) {
+			return fmt.Errorf("deterministic figure %q diverged from the baseline", bf.ID)
+		}
+	}
+	return nil
 }

@@ -58,7 +58,8 @@ type Config struct {
 	NumXRegs     int
 	MaxFillWords int
 	Mode         ctrl.ExecMode
-	Hardwired    bool // hardwired-FSM baseline (no routine RAM)
+	Exec         ctrl.ExecPath // microcode executor backend (fast pre-decoded by default)
+	Hardwired    bool          // hardwired-FSM baseline (no routine RAM)
 
 	// Queue depths (0 → controller defaults).
 	MetaQueueDepth int
@@ -137,7 +138,7 @@ func Build(k *sim.Kernel, cfg Config, spec program.Spec,
 	}, meter)
 	cc, err := ctrl.New(k, ctrl.Config{
 		NumActive: cfg.NumActive, NumExe: cfg.NumExe, NumXRegs: cfg.NumXRegs,
-		MaxFillWords: cfg.MaxFillWords, Mode: cfg.Mode, Hardwired: cfg.Hardwired,
+		MaxFillWords: cfg.MaxFillWords, Mode: cfg.Mode, Exec: cfg.Exec, Hardwired: cfg.Hardwired,
 		MetaQueueDepth: cfg.MetaQueueDepth, RespQueueDepth: cfg.RespQueueDepth,
 		RespDataWords: cfg.RespDataWords,
 	}, prog, tags, data, memReq, memResp, meter)

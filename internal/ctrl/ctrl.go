@@ -11,6 +11,18 @@
 // and the walker sleeps until the next event re-wakes it, releasing the
 // pipeline. The package also retains a blocking-thread execution mode used
 // only for the paper's Fig 7 occupancy ablation.
+//
+// The back-end has two executor implementations, selected by
+// Config.Exec. The default (ExecFast, exec_fast.go) pre-decodes every
+// verified microcode word into a step closure at load time, discharging
+// the checks the program verifier has already proven — operand decode,
+// register bounds, immediate ranges — and keeping only the
+// runtime-decidable traps dynamic. ExecInterp (exec.go) is the
+// reference interpreter that re-decodes every word on every step; it
+// remains the semantic ground truth the fast path is differentially
+// tested against (exec_diff_test.go, FuzzExecDiff). See DESIGN.md §12
+// for the pre-decode pipeline and the soundness argument, and this
+// package's README.md for the file map.
 package ctrl
 
 import (
@@ -88,7 +100,8 @@ type Config struct {
 	MaxFillWords   int // largest single DRAM fill a routine may request
 
 	Mode      ExecMode
-	Hardwired bool // hardwired-FSM baseline: whole routine in 1 cycle, no µcode fetches
+	Exec      ExecPath // back-end executor: pre-decoded fast path (default) or reference interpreter
+	Hardwired bool     // hardwired-FSM baseline: whole routine in 1 cycle, no µcode fetches
 
 	MaxRoutineSteps int // runaway-microcode guard (default 4096)
 	RespDataWords   int // cap on words copied into MetaResp.Data
@@ -274,6 +287,10 @@ type Controller struct {
 	Meter *energy.Counters
 	stats Stats
 
+	// fast is the pre-decoded step-closure table, indexed by absolute pc
+	// (exec_fast.go); nil when Cfg.Exec selects the reference interpreter.
+	fast []fastFn
+
 	outstandingFills int
 
 	// Hardening state.
@@ -325,7 +342,8 @@ func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
 	meter *energy.Counters) (*Controller, error) {
 
 	cfg.defaults()
-	if err := program.Verify(prog, cfg.verifyConfig(data)); err != nil {
+	facts, err := program.VerifyFacts(prog, cfg.verifyConfig(data))
+	if err != nil {
 		return nil, fmt.Errorf("ctrl: program rejected at load: %w", err)
 	}
 	c := &Controller{
@@ -349,6 +367,9 @@ func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
 	for i := range c.pipes {
 		c.pipes[i] = -1
 	}
+	if cfg.Exec == ExecFast {
+		c.predecode(facts)
+	}
 	k.Add(c)
 	return c, nil
 }
@@ -357,11 +378,15 @@ func New(k *sim.Kernel, cfg Config, prog *program.Program, tags *metatag.Array,
 // controller's configuration first. The previous program (and any pending
 // trap) is kept on rejection.
 func (c *Controller) LoadProgram(p *program.Program) error {
-	if err := program.Verify(p, c.Cfg.verifyConfig(c.Data)); err != nil {
+	facts, err := program.VerifyFacts(p, c.Cfg.verifyConfig(c.Data))
+	if err != nil {
 		return fmt.Errorf("ctrl: program rejected at load: %w", err)
 	}
 	c.Prog = p
 	c.trap = nil
+	if c.Cfg.Exec == ExecFast {
+		c.predecode(facts)
+	}
 	return nil
 }
 
@@ -838,7 +863,11 @@ func (c *Controller) backend(cy sim.Cycle) {
 				}
 				slots--
 			}
-			status = c.step(cy, r)
+			if c.fast != nil {
+				status = c.stepFast(cy, r)
+			} else {
+				status = c.step(cy, r)
+			}
 		}
 		if status == stepStall && !stalled {
 			c.stats.StallCycles++

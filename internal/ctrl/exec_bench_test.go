@@ -1,0 +1,92 @@
+package ctrl
+
+// Microbenchmarks for the two executor backends over an ALU-dense spin
+// routine (no DRAM traffic — nearly every simulated cycle is a
+// microcode step). `go test -bench ExecStep ./internal/ctrl` prints the
+// per-action cost of each; the committed perf gate is the xcache-bench
+// hotloop figure (make bench-diff), which measures the same loop.
+
+import (
+	"testing"
+
+	"xcache/internal/dataram"
+	"xcache/internal/dram"
+	"xcache/internal/energy"
+	"xcache/internal/mem"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+func benchSpinSpec() program.Spec {
+	return program.Spec{
+		Name: "benchspin",
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				li r4, 96
+				li r5, 3
+				li r6, 7
+			loop:
+				add r6, r6, r5
+				xor r7, r6, r4
+				shl r8, r7, 3
+				shr r9, r8, 2
+				and r10, r9, r6
+				or r11, r10, r5
+				mul r12, r11, r5
+				addi r6, r12, 13
+				dec r4
+				bnz r4, loop
+				enqresp r6, OK
+				abort
+			`},
+		},
+	}
+}
+
+func benchExec(b *testing.B, exec ExecPath) {
+	prog, err := benchSpinSpec().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := sim.NewKernel()
+	img := mem.NewImage()
+	d := dram.New(k, dram.DefaultConfig(), img)
+	meter := &energy.Counters{}
+	tags := metatag.New(metatag.Config{Sets: 64, Ways: 4, KeyWords: 1}, meter)
+	data := dataram.New(dataram.Config{Sectors: 64, WordsPerSector: 4}, meter)
+	c, err := New(k, Config{NumActive: 8, NumExe: 4, Exec: exec},
+		prog, tags, data, d.Req, d.Resp, meter)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sent, done := 0, 0
+	k.Add(sim.ComponentFunc(func(cy sim.Cycle) {
+		for {
+			if _, ok := c.RespQ.Pop(); !ok {
+				break
+			}
+			done++
+		}
+		for sent < b.N {
+			r := MetaReq{ID: uint64(sent + 1), Op: MetaLoad,
+				Key: metatag.Key{uint64(sent), 0}, Issued: cy}
+			if !c.ReqQ.Push(r) {
+				return
+			}
+			sent++
+		}
+	}))
+	b.ResetTimer()
+	if !k.RunUntil(func() bool { return done >= b.N }, 100_000_000) {
+		b.Fatalf("spin never drained: %d/%d", done, b.N)
+	}
+	b.StopTimer()
+	if tr := c.Trap(); tr != nil {
+		b.Fatal(tr)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(c.Stats().Actions), "ns/action")
+}
+
+func BenchmarkExecStepInterp(b *testing.B) { benchExec(b, ExecInterp) }
+func BenchmarkExecStepFast(b *testing.B)   { benchExec(b, ExecFast) }

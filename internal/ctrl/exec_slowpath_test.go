@@ -1,0 +1,135 @@
+package ctrl
+
+// Explicit coverage for the allocation slow paths both executors share:
+// makeRoom's partial-eviction behaviour against a capacity-starved
+// memory queue, and the retire-and-replay path when the data RAM is
+// exhausted by transient (not-yet-settled) entries that no eviction can
+// reclaim. Each scenario runs through the lockstep differential pair, so
+// the slow paths are simultaneously pinned for behaviour and proven
+// identical across executors.
+
+import (
+	"testing"
+
+	"xcache/internal/dataram"
+	"xcache/internal/dram"
+	"xcache/internal/metatag"
+	"xcache/internal/program"
+	"xcache/internal/sim"
+)
+
+// TestMakeRoomPartialEvictionWithFullMemReq drives eviction-heavy stores
+// through an effectively capacity-1 memory request queue. Every victim
+// is dirty, so each eviction needs a writeback slot; with at most one
+// slot free at a time, makeRoom must bail out mid-sweep (its per-victim
+// CanPush recheck) and the walker must stall and resume — not wedge, not
+// skip the writeback.
+func TestMakeRoomPartialEvictionWithFullMemReq(t *testing.T) {
+	cfg := Config{NumActive: 2, NumExe: 1}
+	dataCfg := dataram.Config{Sectors: 4, WordsPerSector: 4}
+	// A roomy tag array (64 entries for 8 keys) keeps allocm from ever
+	// evicting: the only way to free a sector is allocd's makeRoom.
+	p := newDiffPair(t, cfg, storeSpec(), metatag.Config{Sets: 16, Ways: 4, KeyWords: 1}, dataCfg)
+	p.ri.fillArray(16)
+	p.rf.fillArray(16)
+	// Capacity-1 memory queue: refuse pushes while anything is in flight.
+	for _, r := range []*rig{p.ri, p.rf} {
+		q := r.c.MemReq
+		q.SetClog(func() bool { return q.Len() >= 1 })
+	}
+	// 4 stores fill the 4-sector data RAM with dirty stable entries, then
+	// 4 more force one eviction (and one writeback) each.
+	var reqs []diffReq
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, diffReq{at: sim.Cycle(i * 12), op: MetaStore,
+			key: uint64(i), payload: uint64(100 + i)})
+	}
+	p.lockstep(t, reqs, 200000)
+
+	st := p.ri.c.Stats()
+	if st.WritebacksIssued < 4 {
+		t.Fatalf("dirty evictions skipped writebacks: %d issued, want >= 4", st.WritebacksIssued)
+	}
+	if st.StallCycles == 0 {
+		t.Fatal("capacity-1 memory queue never stalled the backend")
+	}
+	if st.Responses != 8 {
+		t.Fatalf("responses %d, want 8", st.Responses)
+	}
+	if tr := p.ri.c.Trap(); tr != nil {
+		t.Fatalf("slow path trapped: %v", tr)
+	}
+}
+
+// transientAllocSpec allocates its data sector up front — before the
+// fill round-trip — so the sector is held by a transient entry for the
+// whole DRAM latency. With a sector-starved data RAM this is the shape
+// that exhausts capacity with nothing evictable.
+func transientAllocSpec() program.Spec {
+	return program.Spec{
+		Name:   "transientalloc",
+		States: []string{"WaitFill"},
+		Transitions: []program.Transition{
+			{State: "Default", Event: "MetaLoad", Asm: `
+				allocm
+				allocr r7
+				allocdi r7, 1
+				lde r4, e0
+				shl r5, r1, 3
+				add r5, r4, r5
+				li r8, 1
+				update r7, r8
+				enqfilli r5, 1
+				state WaitFill
+			`},
+			{State: "WaitFill", Event: "Fill", Asm: `
+				peek r6, 0
+				writed r7, r6
+				enqresp r6, OK
+				halt Valid
+			`},
+		},
+	}
+}
+
+// TestAllocRetryWhenTransientsExhaustCapacity wedges every data sector
+// behind walkers that are still waiting on (artificially slow) fills:
+// the next walker's allocdi finds the pool empty AND makeRoom finds no
+// stable victim, so it must take the retire-and-replay exit — releasing
+// its meta-tag entry — and the replayed request must complete once the
+// early walkers settle and become evictable.
+func TestAllocRetryWhenTransientsExhaustCapacity(t *testing.T) {
+	cfg := Config{NumActive: 4, NumExe: 1}
+	dataCfg := dataram.Config{Sectors: 2, WordsPerSector: 4}
+	p := newDiffPair(t, cfg, transientAllocSpec(), defaultTagCfg(), dataCfg)
+	p.ri.fillArray(8)
+	p.rf.fillArray(8)
+	// Stretch every fill's DRAM latency so all in-flight walkers hold
+	// their transient sectors simultaneously.
+	for _, r := range []*rig{p.ri, p.rf} {
+		r.d.Faults = faultFunc(func(resp dram.Response, c sim.Cycle) (bool, int) {
+			return false, 150
+		})
+	}
+	p.lockstep(t, []diffReq{
+		{at: 0, op: MetaLoad, key: 1},
+		{at: 1, op: MetaLoad, key: 2},
+		{at: 2, op: MetaLoad, key: 3},
+	}, 200000)
+
+	st := p.ri.c.Stats()
+	if st.AllocRetries == 0 {
+		t.Fatal("transient-exhausted data RAM never took the retire-and-replay exit")
+	}
+	if st.Responses != 3 || st.NotFound != 0 {
+		t.Fatalf("stats %+v: want 3 OK responses", st)
+	}
+	if tr := p.ri.c.Trap(); tr != nil {
+		t.Fatalf("slow path trapped: %v", tr)
+	}
+	// The replayed walker's sector landed after eviction of a settled
+	// entry: exactly 2 of the 3 single-sector entries can still be live.
+	if live := p.ri.c.Tags.Live(); live != 2 {
+		t.Fatalf("live entries %d, want 2 (one evicted for the replay)", live)
+	}
+}

@@ -172,47 +172,125 @@ func TestTrapMatrix(t *testing.T) {
 					abort`},
 			}}},
 	}
+	execPaths := []struct {
+		name string
+		exec ExecPath
+	}{{"interp", ExecInterp}, {"fast", ExecFast}}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			r := newRig(t, c.cfg, c.spec, defaultTagCfg(), defaultDataCfg())
+			paths := execPaths
 			if c.mutate != nil {
-				c.mutate(t, r.c.Prog)
+				// Post-load mutation models a bit-flipped microcode word.
+				// The pre-decoded table compiled the pristine words, so the
+				// flip is invisible there — the runtime-backstop claim is
+				// interpreter-only, and TestTrapMatrixFastPathDischarge pins
+				// what the fast path does with these words instead.
+				paths = paths[:1]
 			}
-			if c.env {
-				base := r.img.AllocWords(4)
-				r.c.SetEnv(0, base)
+			traps := make(map[string]*Trap)
+			for _, p := range paths {
+				t.Run(p.name, func(t *testing.T) {
+					cfg := c.cfg
+					cfg.Exec = p.exec
+					r := newRig(t, cfg, c.spec, defaultTagCfg(), defaultDataCfg())
+					if c.mutate != nil {
+						c.mutate(t, r.c.Prog)
+					}
+					if c.env {
+						base := r.img.AllocWords(4)
+						r.c.SetEnv(0, base)
+					}
+					id := r.issue(MetaLoad, 1, 0)
+					resp := r.await(1)[id]
+					if resp.Status != program.StatusNotFound {
+						t.Fatalf("trapped walker answered %+v, want NOTFOUND", resp)
+					}
+					tr := r.c.Trap()
+					if tr == nil {
+						t.Fatal("no trap recorded")
+					}
+					if tr.Kind != c.kind {
+						t.Fatalf("trap kind %s, want %s (%v)", tr.Kind, c.kind, tr)
+					}
+					if !strings.Contains(tr.Error(), c.kind.String()) {
+						t.Fatalf("trap error %q missing kind name", tr.Error())
+					}
+					// The walker quiesced: the controller drains to idle instead of
+					// wedging (a watchdog would stay silent — progress never stops).
+					r.k.Run(200)
+					if !r.c.Idle() {
+						t.Fatalf("controller wedged after trap: %v", r.c.Diagnose())
+					}
+					if r.c.Tags.Live() != 0 {
+						t.Fatal("trap leaked a live meta-tag entry")
+					}
+					// The machine still serves requests after the trap.
+					id2 := r.issue(MetaLoad, 2, 0)
+					if _, ok := r.await(1)[id2]; !ok {
+						t.Fatal("no response after trap")
+					}
+					if r.c.Stats().Traps == 0 {
+						t.Fatal("trap not counted")
+					}
+					traps[p.name] = tr
+				})
 			}
+			// Trap parity: a dynamically-reachable kind must fault
+			// identically on both executors — same kind, same pc, same
+			// faulting op, same context, same rendered detail.
+			ti, tf := traps["interp"], traps["fast"]
+			if ti == nil || tf == nil {
+				return
+			}
+			if *ti != *tf {
+				t.Fatalf("executor trap divergence:\ninterp: %+v\nfast:   %+v", *ti, *tf)
+			}
+		})
+	}
+}
+
+// TestTrapMatrixFastPathDischarge proves the flip side of the mutation
+// cases above: the kinds the verifier discharges statically (illegal op,
+// pc escape via a branch immediate, register bounds, lde/state immediate
+// ranges) are *unreachable* on the pre-decoded path. The same post-load
+// word flips that trap the interpreter leave the fast path executing the
+// pristine pre-decoded closures: every request completes normally and no
+// trap is raised.
+func TestTrapMatrixFastPathDischarge(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(t *testing.T, p *program.Program)
+	}{
+		{"illegal_op", func(t *testing.T, p *program.Program) {
+			p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.Op(60)}
+		}},
+		{"pc_escape", func(t *testing.T, p *program.Program) {
+			p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpJmp, Imm: 3000}
+		}},
+		{"reg_oob", func(t *testing.T, p *program.Program) {
+			p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpInc, Dst: 25}
+		}},
+		{"imm_range_env", func(t *testing.T, p *program.Program) {
+			p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpLde, Dst: 4, Imm: 20}
+		}},
+		{"imm_range_state", func(t *testing.T, p *program.Program) {
+			p.Code[metaLoadStart(t, p)] = isa.Instr{Op: isa.OpState, Imm: 99}
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			r := newRig(t, Config{Exec: ExecFast}, respondSpec(), defaultTagCfg(), defaultDataCfg())
+			m.mutate(t, r.c.Prog)
 			id := r.issue(MetaLoad, 1, 0)
 			resp := r.await(1)[id]
-			if resp.Status != program.StatusNotFound {
-				t.Fatalf("trapped walker answered %+v, want NOTFOUND", resp)
+			if resp.Status != program.StatusOK {
+				t.Fatalf("discharged path answered %+v, want OK", resp)
 			}
-			tr := r.c.Trap()
-			if tr == nil {
-				t.Fatal("no trap recorded")
+			if tr := r.c.Trap(); tr != nil {
+				t.Fatalf("statically-discharged kind reached the fast path: %v", tr)
 			}
-			if tr.Kind != c.kind {
-				t.Fatalf("trap kind %s, want %s (%v)", tr.Kind, c.kind, tr)
-			}
-			if !strings.Contains(tr.Error(), c.kind.String()) {
-				t.Fatalf("trap error %q missing kind name", tr.Error())
-			}
-			// The walker quiesced: the controller drains to idle instead of
-			// wedging (a watchdog would stay silent — progress never stops).
-			r.k.Run(200)
-			if !r.c.Idle() {
-				t.Fatalf("controller wedged after trap: %v", r.c.Diagnose())
-			}
-			if r.c.Tags.Live() != 0 {
-				t.Fatal("trap leaked a live meta-tag entry")
-			}
-			// The machine still serves requests after the trap.
-			id2 := r.issue(MetaLoad, 2, 0)
-			if _, ok := r.await(1)[id2]; !ok {
-				t.Fatal("no response after trap")
-			}
-			if r.c.Stats().Traps == 0 {
-				t.Fatal("trap not counted")
+			if r.c.Stats().Traps != 0 {
+				t.Fatal("trap counted on the discharged path")
 			}
 		})
 	}
@@ -263,21 +341,46 @@ func TestTrapMalformedBinaryRegression(t *testing.T) {
 	}
 
 	// Layer 2: even with the verifier bypassed (word corrupted after
-	// load), execution traps instead of panicking.
-	for pc, in := range r.c.Prog.Code {
+	// load), the interpreter traps instead of panicking. The interpreter
+	// is pinned here because only it re-decodes the corrupted word; the
+	// fast path's behaviour on the same corruption is layer 3.
+	ri := newRig(t, Config{Exec: ExecInterp}, fillSpec("peek r5, 0\nenqresp r5, OK\nabort"),
+		defaultTagCfg(), defaultDataCfg())
+	for pc, in := range ri.c.Prog.Code {
 		if in.Op == isa.OpPeek {
-			r.c.Prog.Code[pc].Imm = -3
+			ri.c.Prog.Code[pc].Imm = -3
 		}
 	}
-	base := r.img.AllocWords(4)
-	r.c.SetEnv(0, base)
-	id := r.issue(MetaLoad, 1, 0)
-	resp := r.await(1)[id]
+	base := ri.img.AllocWords(4)
+	ri.c.SetEnv(0, base)
+	id := ri.issue(MetaLoad, 1, 0)
+	resp := ri.await(1)[id]
 	if resp.Status != program.StatusNotFound {
 		t.Fatalf("got %+v, want NOTFOUND", resp)
 	}
-	if tr := r.c.Trap(); tr == nil || tr.Kind != TrapPeekOOB {
-		t.Fatalf("trap = %v, want peek-oob", r.c.Trap())
+	if tr := ri.c.Trap(); tr == nil || tr.Kind != TrapPeekOOB {
+		t.Fatalf("trap = %v, want peek-oob", ri.c.Trap())
+	}
+
+	// Layer 3: the pre-decoded path compiled the pristine peek slot, so
+	// the post-load corruption is discharged — the walker completes with
+	// the original semantics and no trap.
+	rf := newRig(t, Config{Exec: ExecFast}, fillSpec("peek r5, 0\nenqresp r5, OK\nabort"),
+		defaultTagCfg(), defaultDataCfg())
+	for pc, in := range rf.c.Prog.Code {
+		if in.Op == isa.OpPeek {
+			rf.c.Prog.Code[pc].Imm = -3
+		}
+	}
+	base = rf.img.AllocWords(4)
+	rf.c.SetEnv(0, base)
+	id = rf.issue(MetaLoad, 1, 0)
+	respf := rf.await(1)[id]
+	if respf.Status != program.StatusOK {
+		t.Fatalf("discharged peek answered %+v, want OK", respf)
+	}
+	if tr := rf.c.Trap(); tr != nil {
+		t.Fatalf("discharged corruption reached the fast path: %v", tr)
 	}
 }
 

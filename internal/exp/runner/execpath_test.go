@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"testing"
+
+	"xcache/internal/ctrl"
+	"xcache/internal/dsa"
+)
+
+// TestExecPathEquivalence runs every DSA's real microcode program under
+// both executor backends — the reference interpreter and the pre-decoded
+// fast path — and requires bit-identical Results: cycles, DRAM traffic,
+// hit rates, latency percentiles, occupancy, the full energy breakdown
+// and the functional check. This is the end-to-end counterpart of the
+// ctrl package's per-cycle lockstep harness.
+func TestExecPathEquivalence(t *testing.T) {
+	cases := []Spec{
+		{DSA: DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-19", Scale: 100},
+		{DSA: DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: 100},
+		{DSA: DSADASX, Kind: dsa.KindXCache, Workload: "TPC-H-20", Scale: 100},
+		{DSA: DSASpArch, Kind: dsa.KindXCache, Workload: "p2p-31", Scale: 100},
+		{DSA: DSAGamma, Kind: dsa.KindXCache, Workload: "p2p-31", Scale: 100},
+		{DSA: DSAGraphPulse, Kind: dsa.KindXCache, Workload: "p2p-08", Scale: 100},
+		{DSA: DSABTreeIdx, Kind: dsa.KindXCache, Workload: "zipf", Scale: 100},
+		// Controller variants share the executor machinery; pin them too.
+		{DSA: DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: 100, Mode: ctrl.ModeThread},
+		{DSA: DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: 100, Hardwired: true},
+		{DSA: DSAWidx, Kind: dsa.KindXCache, Workload: "TPC-H-22", Scale: 100, Check: true},
+	}
+	for _, s := range cases {
+		s := s
+		name := s.DSA + "/" + s.Workload
+		if s.Mode != 0 {
+			name += "/thread"
+		}
+		if s.Hardwired {
+			name += "/hardwired"
+		}
+		if s.Check {
+			name += "/checked"
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			fast, interp := s, s
+			fast.Exec = ctrl.ExecFast
+			interp.Exec = ctrl.ExecInterp
+			if fast.Key() == interp.Key() {
+				t.Fatal("executor choice missing from the canonical spec key")
+			}
+			rf, err := fast.Execute()
+			if err != nil {
+				t.Fatalf("fast path: %v", err)
+			}
+			ri, err := interp.Execute()
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			if rf != ri {
+				t.Fatalf("executor results diverged\nfast:   %+v\ninterp: %+v", rf, ri)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"xcache/internal/check"
+	"xcache/internal/ctrl"
 	"xcache/internal/dsa"
 )
 
@@ -119,6 +120,7 @@ func TestKeyDistinguishesEveryField(t *testing.T) {
 		"WorkScale": func(s *Spec) { s.WorkScale = 800 },
 		"DivMul":    func(s *Spec) { s.DivMul = 2 },
 		"Mode":      func(s *Spec) { s.Mode = 1 },
+		"Exec":      func(s *Spec) { s.Exec = ctrl.ExecInterp },
 		"Hardwired": func(s *Spec) { s.Hardwired = true },
 		"Lookahead": func(s *Spec) { s.Lookahead = 16 },
 		"NumActive": func(s *Spec) { s.NumActive = 8 },

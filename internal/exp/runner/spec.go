@@ -59,6 +59,7 @@ type Spec struct {
 	// associativity (the approx geometry scan); 0 keeps the DSA default.
 	DivMul    int
 	Mode      ctrl.ExecMode
+	Exec      ctrl.ExecPath
 	Hardwired bool
 	Lookahead int
 	NumActive int
@@ -87,9 +88,9 @@ type Spec struct {
 // self-delimiting rendering of every field. Equal specs have equal keys
 // and distinct specs distinct keys.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s/%s[%s] scale=%d work=%d div=%d mode=%d hard=%t la=%d act=%d exe=%d ways=%d win=%d+%d chk=%t faults=%.6g,%.6g,%d,%.6g,%.6g,%d seed=%d",
+	return fmt.Sprintf("%s/%s[%s] scale=%d work=%d div=%d mode=%d xp=%d hard=%t la=%d act=%d exe=%d ways=%d win=%d+%d chk=%t faults=%.6g,%.6g,%d,%.6g,%.6g,%d seed=%d",
 		s.DSA, s.Workload, s.Kind, s.Scale, s.workScale(), s.divMul(),
-		s.Mode, s.Hardwired, s.Lookahead, s.NumActive, s.NumExe,
+		s.Mode, s.Exec, s.Hardwired, s.Lookahead, s.NumActive, s.NumExe,
 		s.Ways, s.WinStart, s.WinLen,
 		s.Check, s.Faults.DropResp, s.Faults.DelayResp, s.Faults.DelayMax,
 		s.Faults.ClogQueue, s.Faults.FlipBit, s.Faults.FillTimeout, s.Seed)
@@ -311,6 +312,7 @@ func (s Spec) execute(sink ctrl.TraceSink) (dsa.Result, error) {
 
 // applyCfg applies the config-level overrides shared by every DSA.
 func (s Spec) applyCfg(cfg *core.Config) {
+	cfg.Exec = s.Exec
 	cfg.Hardwired = s.Hardwired
 	if s.NumActive > 0 {
 		cfg.NumActive = s.NumActive

@@ -221,6 +221,35 @@ func (o Op) IsBranch() bool {
 	return false
 }
 
+// regFieldNames are the encoding-order register operand slot names.
+var regFieldNames = [3]string{"dst", "a", "b"}
+
+// RegFieldName names the k'th register operand slot as RegOperands orders
+// them: "dst", "a", "b".
+func RegFieldName(k int) string {
+	if k >= 0 && k < len(regFieldNames) {
+		return regFieldNames[k]
+	}
+	return "?"
+}
+
+// RegOperands returns the register fields the instruction's shape actually
+// reads or writes, in encoding order (dst, a, b), and how many of them are
+// meaningful. Fields beyond n carry don't-care bits from decode and must
+// be ignored; the controller's bounds checks and the static verifier both
+// consume this single source of truth for which operands matter.
+func (i Instr) RegOperands() (regs [3]uint8, n int) {
+	switch i.Op.OpShape() {
+	case ShapeR, ShapeRI, ShapeRL:
+		return [3]uint8{i.Dst}, 1
+	case ShapeRR, ShapeRRI, ShapeRRL:
+		return [3]uint8{i.Dst, i.A}, 2
+	case ShapeRRR:
+		return [3]uint8{i.Dst, i.A, i.B}, 3
+	}
+	return regs, 0
+}
+
 // Instr is one decoded microcode action. Branch immediates are
 // routine-relative instruction indices.
 type Instr struct {

@@ -63,6 +63,23 @@ var verifyCalls atomic.Int64
 // VerifyCalls returns the number of Verify invocations so far.
 func VerifyCalls() int64 { return verifyCalls.Load() }
 
+// Facts is the per-instruction evidence a successful verification
+// produces. The controller's pre-decoded executor (ctrl exec_fast)
+// consumes it to decide, per microcode word, which dynamic checks the
+// verifier has already discharged. See DESIGN.md §12 for the soundness
+// argument tying each fact to the checks it licenses.
+type Facts struct {
+	// Start[pc] is the absolute start of the routine extent containing
+	// pc — the region verifyRoutine checked, running from a table pointer
+	// to the next pointer (or the end of the microcode RAM) — or -1 when
+	// pc precedes every routine pointer. A pc with Start[pc] >= 0 passed
+	// every static check (valid op, register operands in the X-register
+	// file, immediates within their operand domains); a pc with -1 is
+	// unreachable from any table entry but can still execute through a
+	// stale program counter after LoadProgram, so it gets no discharge.
+	Start []int32
+}
+
 // Verify statically checks a compiled or binary-loaded program against a
 // controller configuration. It guarantees the absence of every
 // statically-decidable trap: undefined ops, register operands outside the
@@ -74,6 +91,14 @@ func VerifyCalls() int64 { return verifyCalls.Load() }
 // addresses, register fill sizes) and looping routines remain runtime
 // concerns, covered by the ctrl trap model.
 func Verify(p *Program, cfg VerifyConfig) error {
+	_, err := VerifyFacts(p, cfg)
+	return err
+}
+
+// VerifyFacts is Verify, additionally returning the per-instruction facts
+// the checks established (nil on rejection). One verifier invocation is
+// counted whichever entry point is used.
+func VerifyFacts(p *Program, cfg VerifyConfig) (*Facts, error) {
 	verifyCalls.Add(1)
 	def := DefaultVerifyConfig()
 	if cfg.NumXRegs <= 0 {
@@ -93,20 +118,20 @@ func Verify(p *Program, cfg VerifyConfig) error {
 		return &VerifyError{Program: p.Name, PC: -1, Reason: reason}
 	}
 	if p.NumStates() == 0 || p.NumEvents() == 0 {
-		return tabErr("empty routine table")
+		return nil, tabErr("empty routine table")
 	}
 	for st, row := range p.Table {
 		if len(row) != p.NumEvents() {
-			return tabErr(fmt.Sprintf("ragged routine table: state %d has %d events, want %d", st, len(row), p.NumEvents()))
+			return nil, tabErr(fmt.Sprintf("ragged routine table: state %d has %d events, want %d", st, len(row), p.NumEvents()))
 		}
 	}
 	if p.NumStates() <= StateValid || EvFill >= p.NumEvents() {
-		return tabErr("routine table smaller than the built-in states/events")
+		return nil, tabErr("routine table smaller than the built-in states/events")
 	}
 	_, okLd := p.Lookup(StateInvalid, EvMetaLoad)
 	_, okSt := p.Lookup(StateInvalid, EvMetaStore)
 	if !okLd && !okSt {
-		return tabErr("no (Default, MetaLoad) or (Default, MetaStore) transition; misses cannot start")
+		return nil, tabErr("no (Default, MetaLoad) or (Default, MetaStore) transition; misses cannot start")
 	}
 
 	// Routine extents: each table pointer starts a routine that runs to
@@ -120,7 +145,7 @@ func Verify(p *Program, cfg VerifyConfig) error {
 				continue
 			}
 			if pc < 0 || int(pc) >= len(p.Code) {
-				return tabErr(fmt.Sprintf("routine pointer (%d,%d)=%d outside microcode", st, ev, pc))
+				return nil, tabErr(fmt.Sprintf("routine pointer (%d,%d)=%d outside microcode", st, ev, pc))
 			}
 			if !seen[int(pc)] {
 				seen[int(pc)] = true
@@ -154,11 +179,20 @@ func Verify(p *Program, cfg VerifyConfig) error {
 				continue
 			}
 			if err := verifyRoutine(p, cfg, st, ev, int(pc), extent(int(pc)), hasWake); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	return nil
+	facts := &Facts{Start: make([]int32, len(p.Code))}
+	for i := range facts.Start {
+		facts.Start[i] = -1
+	}
+	for _, s := range starts {
+		for pc := s; pc < extent(s); pc++ {
+			facts.Start[pc] = int32(s)
+		}
+	}
+	return facts, nil
 }
 
 // verifyRoutine checks one (state, event) routine occupying Code[start:end).
@@ -187,31 +221,14 @@ func verifyRoutine(p *Program, cfg VerifyConfig, st, ev, start, end int, hasWake
 		if !in.Op.Valid() {
 			return fail(pc, fmt.Sprintf("undefined op %d", in.Op))
 		}
-		// Register operands, per shape. Unused fields are ignored: decode
-		// reconstructs them from don't-care bits.
-		checkReg := func(name string, r uint8) error {
-			if int(r) >= cfg.NumXRegs {
-				return fail(pc, fmt.Sprintf("register %s=r%d outside the %d-entry X-register file", name, r, cfg.NumXRegs))
+		// Register operands the shape actually uses. Unused fields are
+		// ignored: decode reconstructs them from don't-care bits.
+		regs, nregs := in.RegOperands()
+		for k := 0; k < nregs; k++ {
+			if int(regs[k]) >= cfg.NumXRegs {
+				return fail(pc, fmt.Sprintf("register %s=r%d outside the %d-entry X-register file",
+					isa.RegFieldName(k), regs[k], cfg.NumXRegs))
 			}
-			return nil
-		}
-		var regErr error
-		switch in.Op.OpShape() {
-		case isa.ShapeR, isa.ShapeRI, isa.ShapeRL:
-			regErr = checkReg("dst", in.Dst)
-		case isa.ShapeRR, isa.ShapeRRI, isa.ShapeRRL:
-			if regErr = checkReg("dst", in.Dst); regErr == nil {
-				regErr = checkReg("a", in.A)
-			}
-		case isa.ShapeRRR:
-			if regErr = checkReg("dst", in.Dst); regErr == nil {
-				if regErr = checkReg("a", in.A); regErr == nil {
-					regErr = checkReg("b", in.B)
-				}
-			}
-		}
-		if regErr != nil {
-			return regErr
 		}
 		if in.Imm < isa.ImmMin || in.Imm > isa.ImmMax {
 			return fail(pc, fmt.Sprintf("immediate %d outside the 16-bit field", in.Imm))
