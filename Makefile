@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak servesmoke approx-check fuzz-smoke fuzz execdiff bench bench-json bench-json-0 bench-diff ci
+.PHONY: verify vet fmt golden race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke fuzz execdiff bench bench-json bench-json-0 bench-diff ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -47,6 +47,17 @@ soak:
 # the full chaos soak (seeded faults, byte-stable stats).
 servesmoke:
 	$(GO) test -race -count=1 -run 'TestSmoke|TestDeterminism|TestChaosSoak' ./internal/serve
+
+# SLO smoke: the graceful-degradation tier under the race detector —
+# the AIMD governor's convergence proofs (tight budget throttles and
+# sheds, slack budget never does, factor recovers off the floor after
+# pressure lifts) plus the channel-outage acceptance proof (seeded
+# outage at 1.5x load: conservation holds, the mux quarantines and
+# re-steers, SLO attainment recovers to its pre-fault level within
+# bounded epochs, and the report is byte-stable serial vs 8 workers)
+# and the multi-channel knee shift.
+slosmoke:
+	$(GO) test -race -count=1 -run 'TestSLOGovernorThrottles|TestSLOSlackBudget|TestSLOGovernorRecovers|TestChannelOutageRecovery|TestMultiChannelKnee|TestMuxFailover' ./internal/serve
 
 # Approx-tier validation: the internal/approx unit+property tests plus
 # the scale-25 approx-vs-exact harness (TestApproxErrorBounds fails if
@@ -114,4 +125,4 @@ bench-json-0:
 bench-diff:
 	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -hotloop -bench-diff BENCH_1.json >/dev/null
 
-ci: verify race faultsmoke soak servesmoke approx-check fuzz-smoke execdiff
+ci: verify race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke execdiff

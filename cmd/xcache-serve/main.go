@@ -1,8 +1,9 @@
 // Command xcache-serve runs the overload-safe multi-tenant X-Cache
-// service (internal/serve): N controller shards over one shared DRAM
-// channel, fed by synthetic open-loop tenant streams, with admission
-// control, backpressure, deadlines/retries, and per-shard circuit
-// breakers. It prints the full stats report as JSON on stdout.
+// service (internal/serve): N controller shards over M DRAM channels
+// behind a failover mux, fed by synthetic open-loop tenant streams, with
+// SLO-governed admission control, backpressure, deadlines/retries, and
+// per-shard circuit breakers. It prints the full stats report as JSON on
+// stdout.
 //
 // Usage:
 //
@@ -10,10 +11,14 @@
 //	xcache-serve -overload 2.0 -duration 200000       # the 2x overload experiment
 //	xcache-serve -sweep 1,8,64,512                    # tenant-count sweep (JSON array)
 //	xcache-serve -chaos -seed 42                      # deterministic chaos soak
+//	xcache-serve -channels 4 -channel-policy affine   # multi-channel DRAM
+//	xcache-serve -slo 4096                            # p99 budget for all tenants
+//	xcache-serve -channels 2 -chaos-channel "1:outage:20000+8000"
 //
 // Like xcache-sim, failures are machine-readable: a JSON failure record
-// on stderr plus a kind-specific exit code. Two extra codes classify
-// *successful but degraded* runs, with fatal > breaker > overload:
+// on stderr plus a kind-specific exit code. Three extra codes classify
+// *successful but degraded* runs, with fatal > degraded > breaker >
+// overload:
 //
 //	0  clean: served within capacity
 //	1  usage / configuration error
@@ -22,6 +27,7 @@
 //	4  cycle budget exhausted
 //	7  overload: the run shed ≥ 20% of offered load (admission control dominated)
 //	8  breaker: at least one shard's circuit breaker tripped during the run
+//	9  degraded: a DRAM channel was still quarantined when the run ended
 package main
 
 import (
@@ -43,6 +49,7 @@ const (
 	exitUsage    = 1
 	exitOverload = 7
 	exitBreaker  = 8
+	exitDegraded = 9
 )
 
 // overloadShedFrac is the shed fraction at or above which a successful
@@ -51,8 +58,11 @@ const overloadShedFrac = 0.20
 
 func main() {
 	shards := flag.Int("shards", 4, "controller shards")
+	channels := flag.Int("channels", 1, "independent DRAM channels behind the mux")
+	chanPolicy := flag.String("channel-policy", "interleave", "channel steering: interleave|affine")
 	tenants := flag.String("tenants", "64:rate=0.01",
-		"tenant mix: COUNT[@PRIO][:rate=F,skew=F,burst=LEN/DUTY];... (prio 7 sheds last)")
+		"tenant mix: COUNT[@PRIO][:rate=F,skew=F,burst=LEN/DUTY,slo=CYCLES];... (prio 7 sheds last)")
+	slo := flag.Int("slo", 0, "default p99 latency budget in cycles for groups without slo= (0 = ungoverned)")
 	keys := flag.Int("keys", 1<<16, "shared key-space size")
 	duration := flag.Int("duration", 50_000, "arrival window in cycles")
 	seed := flag.Uint64("seed", 1, "run seed (same seed → byte-identical stats)")
@@ -68,9 +78,22 @@ func main() {
 	delay := flag.Float64("delay", 0, "DRAM response delay probability")
 	clog := flag.Float64("clog", 0, "queue clog probability per queue-cycle")
 	flip := flag.Float64("flip", 0, "meta-tag bit-flip probability per cycle")
+	chaosChannel := flag.String("chaos-channel", "",
+		"channel fault episodes: CH:MODE:START+LEN[+EXTRA];... (mode outage|stall|burst)")
 	flag.Parse()
 
 	groups, err := serve.ParseTenantSpec(*tenants)
+	if err != nil {
+		fail(err, "usage", exitUsage)
+	}
+	if *slo > 0 {
+		for i := range groups {
+			if groups[i].SLO == 0 {
+				groups[i].SLO = *slo
+			}
+		}
+	}
+	policy, err := serve.ParseChannelPolicy(*chanPolicy)
 	if err != nil {
 		fail(err, "usage", exitUsage)
 	}
@@ -78,8 +101,16 @@ func main() {
 	if *chaos {
 		faults = check.FaultConfig{DropResp: 0.01, DelayResp: 0.02, DelayMax: 128, ClogQueue: 0.002, FlipBit: 0.0005}
 	}
+	if *chaosChannel != "" {
+		cf, err := check.ParseChannelFaults(*chaosChannel)
+		if err != nil {
+			fail(err, "usage", exitUsage)
+		}
+		faults.Channels = cf
+	}
 	base := serve.Config{
-		Shards: *shards, Tenants: groups, Keys: *keys, Duration: *duration,
+		Shards: *shards, Channels: *channels, ChannelPolicy: policy,
+		Tenants: groups, Keys: *keys, Duration: *duration,
 		Seed: *seed, Overload: *overload, Deadline: *deadline, Timeout: *timeout,
 		Retries: *retries, Watchdog: *watchdog, TickWorkers: *workers, Faults: faults,
 	}
@@ -159,9 +190,13 @@ func runOne(cfg serve.Config) *serve.Report {
 	return r
 }
 
-// classify maps a successful report onto the degraded exit codes:
-// breaker trips outrank overload shedding.
+// classify maps a successful report onto the degraded exit codes: a
+// still-quarantined channel outranks breaker trips, which outrank
+// overload shedding.
 func classify(r *serve.Report) int {
+	if r.Degraded != nil && r.Degraded.EndedDegraded {
+		return exitDegraded
+	}
 	for _, sh := range r.Shards {
 		if sh.BreakerTrips > 0 {
 			return exitBreaker
@@ -181,10 +216,20 @@ func summarize(r *serve.Report) {
 		trips += sh.BreakerTrips
 	}
 	fmt.Fprintf(os.Stderr,
-		"xcache-serve: tenants=%d shards=%d overload=%.2g: generated=%d completed=%d shed=%.1f%% failed=%d p50=%d p99=%d p999=%d trips=%d\n",
-		r.Config.TenantCount, r.Config.Shards, r.Config.Overload,
+		"xcache-serve: tenants=%d shards=%d channels=%d overload=%.2g: generated=%d completed=%d shed=%.1f%% failed=%d p50=%d p99=%d p999=%d trips=%d\n",
+		r.Config.TenantCount, r.Config.Shards, r.Config.Channels, r.Config.Overload,
 		r.Totals.Generated, r.Totals.Completed, 100*r.Totals.ShedRate,
 		r.Totals.Failed, r.Latency.P50, r.Latency.P99, r.Latency.P999, trips)
+	if r.SLO != nil {
+		for _, a := range r.SLO.Attainment {
+			fmt.Fprintf(os.Stderr, "xcache-serve:   slo prio %d: attainment %.1f%% (%d/%d)\n",
+				a.Priority, 100*a.Attainment, a.Met, a.Measured)
+		}
+	}
+	if r.Degraded != nil {
+		fmt.Fprintf(os.Stderr, "xcache-serve:   degraded: %d quarantines, %d degraded cycles, %d resteered, ended_degraded=%v\n",
+			r.Degraded.Quarantines, r.Degraded.DegradedCycles, r.Degraded.Resteered, r.Degraded.EndedDegraded)
+	}
 }
 
 // serveFailure is the machine-readable failure record on stderr,

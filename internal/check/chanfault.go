@@ -1,0 +1,214 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xcache/internal/dram"
+	"xcache/internal/sim"
+)
+
+// ChannelFaultMode selects what a channel-level fault episode does to
+// its DRAM channel while active.
+type ChannelFaultMode int
+
+// The channel fault modes.
+const (
+	// ChanOutage freezes the channel completely: nothing is admitted,
+	// issued, completed or delivered for the episode. The layer above
+	// must detect the silence and fail over.
+	ChanOutage ChannelFaultMode = iota + 1
+	// ChanStall suppresses bank issue but lets already-completed work
+	// drain — the channel looks alive until its backlog runs dry.
+	ChanStall
+	// ChanBurst adds Extra cycles of latency to every response that
+	// completes during the episode (a congestion/thermal-throttle spike).
+	ChanBurst
+)
+
+// String names the mode for logs, specs and errors.
+func (m ChannelFaultMode) String() string {
+	switch m {
+	case ChanOutage:
+		return "outage"
+	case ChanStall:
+		return "stall"
+	case ChanBurst:
+		return "burst"
+	}
+	return fmt.Sprintf("chanfault(%d)", int(m))
+}
+
+// defaultBurstExtra is the added response latency of a burst episode
+// that does not specify one.
+const defaultBurstExtra = 64
+
+// ChannelFault is one deterministic channel-level fault episode: channel
+// Channel enters Mode at cycle Start for Cycles cycles. Extra is the
+// added latency of a ChanBurst episode (default 64; ignored otherwise).
+type ChannelFault struct {
+	Channel int
+	Mode    ChannelFaultMode
+	Start   int
+	Cycles  int
+	Extra   int
+}
+
+// Validate rejects episodes the injector cannot honor.
+func (f ChannelFault) Validate() error {
+	if f.Channel < 0 {
+		return fmt.Errorf("check: channel fault on negative channel %d", f.Channel)
+	}
+	switch f.Mode {
+	case ChanOutage, ChanStall, ChanBurst:
+	default:
+		return fmt.Errorf("check: unknown channel fault mode %d", int(f.Mode))
+	}
+	if f.Start < 0 {
+		return fmt.Errorf("check: channel fault start %d negative", f.Start)
+	}
+	if f.Cycles <= 0 {
+		return fmt.Errorf("check: channel fault length %d not positive", f.Cycles)
+	}
+	if f.Extra < 0 {
+		return fmt.Errorf("check: channel fault extra delay %d negative", f.Extra)
+	}
+	return nil
+}
+
+// active reports whether the episode covers cycle c.
+func (f ChannelFault) active(c sim.Cycle) bool {
+	return int64(c) >= int64(f.Start) && int64(c) < int64(f.Start)+int64(f.Cycles)
+}
+
+// ParseChannelFaults parses the channel-fault mini-language used by
+// xcache-serve's -chaos-channel flag. Episodes are joined by ';':
+//
+//	episode := CHANNEL ':' MODE ':' START '+' LEN [ '+' EXTRA ]
+//	mode    := 'outage' | 'stall' | 'burst'
+//
+// e.g. "1:outage:20000+8000" — channel 1 goes dark at cycle 20000 for
+// 8000 cycles — or "0:burst:5000+2000+128" for a latency spike.
+// FormatChannelFaults is the canonical inverse.
+func ParseChannelFaults(s string) ([]ChannelFault, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("check: empty channel fault spec")
+	}
+	var out []ChannelFault
+	for i, part := range strings.Split(s, ";") {
+		f, err := parseChannelFault(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("check: channel fault %d %q: %w", i, part, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseChannelFault(s string) (ChannelFault, error) {
+	var f ChannelFault
+	fields := strings.Split(s, ":")
+	if len(fields) != 3 {
+		return f, fmt.Errorf("want CHANNEL:MODE:START+LEN[+EXTRA]")
+	}
+	ch, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return f, fmt.Errorf("bad channel %q: %v", fields[0], err)
+	}
+	f.Channel = ch
+	switch mode := strings.TrimSpace(fields[1]); mode {
+	case "outage":
+		f.Mode = ChanOutage
+	case "stall":
+		f.Mode = ChanStall
+	case "burst":
+		f.Mode = ChanBurst
+	default:
+		return f, fmt.Errorf("unknown mode %q (want outage|stall|burst)", mode)
+	}
+	nums := strings.Split(fields[2], "+")
+	if len(nums) != 2 && len(nums) != 3 {
+		return f, fmt.Errorf("bad window %q: want START+LEN[+EXTRA]", fields[2])
+	}
+	if f.Start, err = strconv.Atoi(strings.TrimSpace(nums[0])); err != nil {
+		return f, fmt.Errorf("bad start %q: %v", nums[0], err)
+	}
+	if f.Cycles, err = strconv.Atoi(strings.TrimSpace(nums[1])); err != nil {
+		return f, fmt.Errorf("bad length %q: %v", nums[1], err)
+	}
+	if len(nums) == 3 {
+		if f.Extra, err = strconv.Atoi(strings.TrimSpace(nums[2])); err != nil {
+			return f, fmt.Errorf("bad extra delay %q: %v", nums[2], err)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// FormatChannelFaults renders episodes in the canonical spec syntax, the
+// exact inverse of ParseChannelFaults for valid episodes.
+func FormatChannelFaults(faults []ChannelFault) string {
+	var b strings.Builder
+	for i, f := range faults {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d:%s:%d+%d", f.Channel, f.Mode, f.Start, f.Cycles)
+		if f.Extra != 0 {
+			fmt.Fprintf(&b, "+%d", f.Extra)
+		}
+	}
+	return b.String()
+}
+
+// chanDisruptor adapts the injector's episode table to one channel's
+// dram.Disruptor hook. Purely time-driven (no randomness), so channel
+// faults never perturb the other fault classes' PRNG streams.
+type chanDisruptor struct {
+	in       *Injector
+	episodes []ChannelFault
+}
+
+// ChannelState implements dram.Disruptor: overlapping episodes compose
+// (any outage freezes; any stall stalls; burst delays add).
+func (d *chanDisruptor) ChannelState(c sim.Cycle) (frozen, stalled bool, extraDelay int) {
+	for _, e := range d.episodes {
+		if !e.active(c) {
+			continue
+		}
+		d.in.ChanFaults++
+		switch e.Mode {
+		case ChanOutage:
+			frozen = true
+		case ChanStall:
+			stalled = true
+		case ChanBurst:
+			extra := e.Extra
+			if extra == 0 {
+				extra = defaultBurstExtra
+			}
+			extraDelay += extra
+		}
+	}
+	return frozen, stalled, extraDelay
+}
+
+// ChannelDisruptor returns the dram.Disruptor for channel idx, driving
+// the FaultConfig.Channels episodes that name it. Returns nil when no
+// episode targets the channel, so callers can wire hooks only where
+// they do something.
+func (in *Injector) ChannelDisruptor(idx int) dram.Disruptor {
+	var eps []ChannelFault
+	for _, f := range in.cfg.Channels {
+		if f.Channel == idx {
+			eps = append(eps, f)
+		}
+	}
+	if len(eps) == 0 {
+		return nil
+	}
+	return &chanDisruptor{in: in, episodes: eps}
+}

@@ -1,0 +1,185 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"xcache/internal/sim"
+)
+
+func TestParseChannelFaults(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []ChannelFault
+	}{
+		{"1:outage:20000+8000", []ChannelFault{
+			{Channel: 1, Mode: ChanOutage, Start: 20000, Cycles: 8000},
+		}},
+		{"0:burst:5000+2000+128", []ChannelFault{
+			{Channel: 0, Mode: ChanBurst, Start: 5000, Cycles: 2000, Extra: 128},
+		}},
+		{" 2 : stall : 100 + 50 ", []ChannelFault{
+			{Channel: 2, Mode: ChanStall, Start: 100, Cycles: 50},
+		}},
+		{"0:burst:5000+3000+64;1:outage:15000+5000;1:stall:32000+1500", []ChannelFault{
+			{Channel: 0, Mode: ChanBurst, Start: 5000, Cycles: 3000, Extra: 64},
+			{Channel: 1, Mode: ChanOutage, Start: 15000, Cycles: 5000},
+			{Channel: 1, Mode: ChanStall, Start: 32000, Cycles: 1500},
+		}},
+	}
+	for _, tc := range cases {
+		got, err := ParseChannelFaults(tc.spec)
+		if err != nil {
+			t.Errorf("ParseChannelFaults(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseChannelFaults(%q) = %d episodes, want %d", tc.spec, len(got), len(tc.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseChannelFaults(%q)[%d] = %+v, want %+v", tc.spec, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestFormatChannelFaultsRoundTrip: Format is the exact inverse of Parse
+// for valid episodes.
+func TestFormatChannelFaultsRoundTrip(t *testing.T) {
+	specs := []string{
+		"1:outage:20000+8000",
+		"0:burst:5000+2000+128",
+		"0:burst:5000+3000+64;1:outage:15000+5000;1:stall:32000+1500",
+	}
+	for _, spec := range specs {
+		eps, err := ParseChannelFaults(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		if got := FormatChannelFaults(eps); got != spec {
+			t.Errorf("round trip %q -> %q", spec, got)
+		}
+		again, err := ParseChannelFaults(FormatChannelFaults(eps))
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", spec, err)
+		}
+		for i := range eps {
+			if again[i] != eps[i] {
+				t.Errorf("reparse of %q changed episode %d: %+v vs %+v", spec, i, again[i], eps[i])
+			}
+		}
+	}
+}
+
+func TestParseChannelFaultsErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"", "empty"},
+		{"1:outage", "want CHANNEL:MODE:START+LEN"},
+		{"x:outage:1+2", "bad channel"},
+		{"1:meltdown:1+2", "unknown mode"},
+		{"1:outage:1", "bad window"},
+		{"1:outage:1+2+3+4", "bad window"},
+		{"1:outage:x+2", "bad start"},
+		{"1:outage:1+x", "bad length"},
+		{"1:burst:1+2+x", "bad extra"},
+		{"-1:outage:1+2", "negative channel"},
+		{"1:outage:-5+2", "start -5 negative"},
+		{"1:outage:1+0", "length 0 not positive"},
+		{"1:burst:1+2+-3", "extra delay -3 negative"},
+		{"1:outage:10+5;bogus", "channel fault 1"},
+	}
+	for _, tc := range cases {
+		_, err := ParseChannelFaults(tc.spec)
+		if err == nil {
+			t.Errorf("ParseChannelFaults(%q) accepted invalid spec", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseChannelFaults(%q) error %q, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+// TestChannelFaultValidate covers the struct-level validation xcache-serve
+// and serve.Config rely on.
+func TestChannelFaultValidate(t *testing.T) {
+	ok := ChannelFault{Channel: 0, Mode: ChanOutage, Start: 0, Cycles: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid episode rejected: %v", err)
+	}
+	bad := []ChannelFault{
+		{Channel: -1, Mode: ChanOutage, Cycles: 1},
+		{Channel: 0, Mode: 0, Cycles: 1},
+		{Channel: 0, Mode: ChannelFaultMode(99), Cycles: 1},
+		{Channel: 0, Mode: ChanOutage, Start: -1, Cycles: 1},
+		{Channel: 0, Mode: ChanOutage, Cycles: 0},
+		{Channel: 0, Mode: ChanBurst, Cycles: 1, Extra: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad episode %d accepted: %+v", i, f)
+		}
+	}
+}
+
+// TestChannelDisruptorComposition: overlapping episodes on one channel
+// compose — any outage freezes, any stall stalls, burst delays add — and
+// episodes on other channels are invisible.
+func TestChannelDisruptorComposition(t *testing.T) {
+	k := sim.NewKernel()
+	cfg := FaultConfig{Channels: []ChannelFault{
+		{Channel: 0, Mode: ChanBurst, Start: 100, Cycles: 100, Extra: 32},
+		{Channel: 0, Mode: ChanBurst, Start: 150, Cycles: 100}, // default extra
+		{Channel: 0, Mode: ChanOutage, Start: 180, Cycles: 10},
+		{Channel: 0, Mode: ChanStall, Start: 300, Cycles: 10},
+		{Channel: 1, Mode: ChanOutage, Start: 0, Cycles: 1000},
+	}}
+	in := NewInjector(7, cfg, k)
+
+	d0 := in.ChannelDisruptor(0)
+	if d0 == nil {
+		t.Fatal("channel 0 has episodes but no disruptor")
+	}
+	if in.ChannelDisruptor(2) != nil {
+		t.Fatal("channel 2 has no episodes but got a disruptor")
+	}
+
+	type state struct {
+		frozen, stalled bool
+		extra           int
+	}
+	cases := []struct {
+		cycle sim.Cycle
+		want  state
+	}{
+		{0, state{}},            // before anything
+		{120, state{extra: 32}}, // first burst only
+		{160, state{extra: 32 + defaultBurstExtra}},               // bursts overlap, delays add
+		{185, state{frozen: true, extra: 32 + defaultBurstExtra}}, // outage joins
+		{210, state{extra: defaultBurstExtra}},                    // first burst and outage over
+		{305, state{stalled: true}},
+		{400, state{}}, // all over
+	}
+	for _, tc := range cases {
+		frozen, stalled, extra := d0.ChannelState(tc.cycle)
+		got := state{frozen, stalled, extra}
+		if got != tc.want {
+			t.Errorf("cycle %d: state %+v, want %+v", tc.cycle, got, tc.want)
+		}
+	}
+	if in.ChanFaults == 0 {
+		t.Error("active episodes did not count ChanFaults")
+	}
+
+	// Channel 1's disruptor sees only its own outage.
+	d1 := in.ChannelDisruptor(1)
+	if frozen, stalled, extra := d1.ChannelState(500); !frozen || stalled || extra != 0 {
+		t.Errorf("channel 1 at cycle 500: frozen=%v stalled=%v extra=%d, want frozen only",
+			frozen, stalled, extra)
+	}
+}

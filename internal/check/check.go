@@ -67,11 +67,19 @@ type FaultConfig struct {
 	// fills: 0 derives a default, negative disables retry entirely (used
 	// to test the watchdog against a genuine wedge).
 	FillTimeout int
+
+	// Channels holds deterministic channel-level fault episodes (hard
+	// outage, issue stall, burst latency) for multi-channel DRAM
+	// topologies. Each episode names the channel it applies to; the
+	// owning service wires the per-channel Disruptor via
+	// Injector.ChannelDisruptor.
+	Channels []ChannelFault
 }
 
 // Any reports whether any fault class is enabled.
 func (f FaultConfig) Any() bool {
-	return f.DropResp > 0 || f.DelayResp > 0 || f.ClogQueue > 0 || f.FlipBit > 0
+	return f.DropResp > 0 || f.DelayResp > 0 || f.ClogQueue > 0 || f.FlipBit > 0 ||
+		len(f.Channels) > 0
 }
 
 // defaultFillTimeout is generous against worst-case DRAM queueing so a

@@ -41,6 +41,10 @@ type Injector struct {
 	Delays uint64
 	Clogs  uint64
 	Flips  uint64
+	// ChanFaults counts channel-cycle fault applications (one per active
+	// episode per cycle). Channel disruptors fire from DRAM ticks, which
+	// run serially, so a plain counter suffices.
+	ChanFaults uint64
 }
 
 func newInjector(seed uint64, cfg FaultConfig, k *sim.Kernel) *Injector {

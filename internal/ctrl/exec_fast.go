@@ -43,7 +43,7 @@ func (c *Controller) predecode(facts *program.Facts) {
 	fast := make([]fastFn, len(code))
 	for pc := range code {
 		if facts != nil && int(facts.Start[pc]) >= 0 {
-			fast[pc] = compileVerified(code[pc], c.Prog)
+			fast[pc] = compileVerified(code[pc], c.Prog, facts.Start[pc])
 		} else {
 			fast[pc] = compileUnverified(code[pc])
 		}
@@ -68,6 +68,26 @@ func (c *Controller) stepFast(cy sim.Cycle, r *run) stepStatus {
 			fmt.Sprintf("routine at %d exceeded %d steps", r.start, c.Cfg.MaxRoutineSteps))
 	}
 	return c.fast[r.pc](c, cy, r, w)
+}
+
+// fbranchPre is the fast path's branch resolver: when the run's live
+// routine base matches the pc's compile-time extent base, the taken
+// target is the pre-resolved absolute pc; a stale run executing this pc
+// under a different base (fall-through past a routine boundary) resolves
+// against the live r.start, identically to the interpreter's fbranch.
+func (c *Controller) fbranchPre(r *run, taken bool, imm, start, abs int32) {
+	if c.Meter != nil {
+		c.Meter.BitOps++
+	}
+	if !taken {
+		r.pc++
+		return
+	}
+	if r.start == start {
+		r.pc = abs
+	} else {
+		r.pc = r.start + imm
+	}
 }
 
 // compileUnverified wraps one instruction from outside every verified
@@ -95,9 +115,13 @@ func compileUnverified(in isa.Instr) fastFn {
 // queue space, allocation pressure) remain runtime checks, shared with
 // the interpreter through the exec* helpers so the two paths cannot
 // drift.
-func compileVerified(in isa.Instr, p *program.Program) fastFn {
+func compileVerified(in isa.Instr, p *program.Program, start int32) fastFn {
 	d, a, b := in.Dst, in.A, in.B
 	imm := in.Imm
+	// Pre-resolved branch target for the common case where the run's live
+	// routine base equals this pc's compile-time extent base; fbranchPre
+	// guards on that and falls back to live resolution otherwise.
+	abs := start + imm
 
 	switch in.Op {
 	// ---- AGEN: operands resolved, no residual checks ----
@@ -347,57 +371,59 @@ func compileVerified(in isa.Instr, p *program.Program) fastFn {
 			return c.execAbort(w)
 		}
 
-	// ---- Control: the target offset is captured, but resolved against
-	// the live r.start every time. A pre-resolved absolute target would
-	// be unsound: the verifier accepts a routine whose last action is a
-	// conditional branch, and its not-taken path falls through into the
-	// next extent with the original routine's base still in force.
+	// ---- Control: the absolute target is pre-resolved against this
+	// pc's compile-time extent base (abs, above). That is only valid
+	// while the run's live base matches: the verifier accepts a routine
+	// whose last action is a conditional branch, and its not-taken path
+	// falls through into the next extent with the original routine's
+	// base still in force — fbranchPre guards on r.start and resolves
+	// live in that case, exactly like the interpreter.
 	case isa.OpBmiss:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, w.entry == nil || w.entry.State != program.StateValid, imm)
+			c.fbranchPre(r, w.entry == nil || w.entry.State != program.StateValid, imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBhit:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, w.entry != nil && w.entry.State == program.StateValid, imm)
+			c.fbranchPre(r, w.entry != nil && w.entry.State == program.StateValid, imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBeq:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, w.regs[d] == w.regs[a], imm)
+			c.fbranchPre(r, w.regs[d] == w.regs[a], imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBnz:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, w.regs[d] != 0, imm)
+			c.fbranchPre(r, w.regs[d] != 0, imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBlt:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, int64(w.regs[d]) < int64(w.regs[a]), imm)
+			c.fbranchPre(r, int64(w.regs[d]) < int64(w.regs[a]), imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBge:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, int64(w.regs[d]) >= int64(w.regs[a]), imm)
+			c.fbranchPre(r, int64(w.regs[d]) >= int64(w.regs[a]), imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpBle:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, int64(w.regs[d]) <= int64(w.regs[a]), imm)
+			c.fbranchPre(r, int64(w.regs[d]) <= int64(w.regs[a]), imm, start, abs)
 			return stepAgain
 		}
 	case isa.OpJmp:
 		return func(c *Controller, cy sim.Cycle, r *run, w *walker) stepStatus {
 			c.chargeAction()
-			c.fbranch(r, true, imm)
+			c.fbranchPre(r, true, imm, start, abs)
 			return stepAgain
 		}
 

@@ -31,6 +31,11 @@ type Response struct {
 
 // Config sets the channel geometry and timing (in controller cycles).
 type Config struct {
+	// Name labels the channel's queues and stall-report entries; empty
+	// means "dram". Multi-channel topologies must name each channel so
+	// queue diagnostics (and the fault injector's per-queue clog streams,
+	// which hash queue names) stay distinguishable.
+	Name         string
 	Banks        int    // number of banks on the channel
 	RowBytes     uint64 // row-buffer size per bank
 	TRCD         int    // activate → column command
@@ -74,6 +79,11 @@ type Stats struct {
 	// Fault-injection accounting (zero unless a FaultInjector is set).
 	DroppedResps uint64 // read responses suppressed by the injector
 	DelayedResps uint64 // read responses held back by the injector
+
+	// Channel-fault accounting (zero unless a Disruptor is set).
+	OutageCycles uint64 // cycles the whole channel was frozen
+	StallCycles  uint64 // cycles bank issue was suppressed
+	BurstDelays  uint64 // responses held back by burst-latency episodes
 
 	// PeakPending is the high-water mark of admitted-but-incomplete
 	// requests (scheduler window + held + fault-delayed responses): the
@@ -122,6 +132,18 @@ type delayedResp struct {
 	resp    Response
 }
 
+// Disruptor models channel-level fault state, consulted once at the top
+// of every tick. Implementations must be deterministic functions of the
+// cycle so runs replay from a seed. The three degrees of disruption:
+// frozen is a hard outage (the channel does nothing at all — nothing
+// admitted, issued, completed or delivered); stalled suppresses bank
+// issue but lets already-completed work drain; extraDelay holds every
+// response completing this cycle back by that many extra cycles (burst
+// latency).
+type Disruptor interface {
+	ChannelState(c sim.Cycle) (frozen, stalled bool, extraDelay int)
+}
+
 // DRAM is the channel component. Push requests to Req; pop completions
 // from Resp.
 type DRAM struct {
@@ -132,15 +154,24 @@ type DRAM struct {
 	// Faults, when non-nil, injects dropped/delayed read responses.
 	Faults FaultInjector
 
-	img      *mem.Image
-	banks    []bank
-	window   []*pending
-	busFree  sim.Cycle
-	stats    Stats
-	respHold []Response    // completed but response queue was full
-	delayed  []delayedResp // fault-injected response delays
-	strict   bool          // timing-protocol assertions enabled
-	protoErr error         // first protocol violation observed
+	// Disrupt, when non-nil, injects channel-level fault episodes
+	// (outage, issue stall, burst latency).
+	Disrupt Disruptor
+
+	// Label, when non-empty, names this channel in stall reports so
+	// multi-channel topologies stay tellable apart.
+	Label string
+
+	img        *mem.Image
+	banks      []bank
+	window     []*pending
+	busFree    sim.Cycle
+	stats      Stats
+	respHold   []Response    // completed but response queue was full
+	delayed    []delayedResp // fault-injected response delays
+	burstExtra int           // this tick's burst-latency hold (Disruptor)
+	strict     bool          // timing-protocol assertions enabled
+	protoErr   error         // first protocol violation observed
 }
 
 // New creates a DRAM channel over the given memory image and registers it
@@ -149,12 +180,19 @@ func New(k *sim.Kernel, cfg Config, img *mem.Image) *DRAM {
 	if cfg.Banks <= 0 || cfg.RowBytes == 0 {
 		panic("dram: invalid geometry")
 	}
+	name := cfg.Name
+	if name == "" {
+		name = "dram"
+	}
 	d := &DRAM{
 		Cfg:   cfg,
-		Req:   sim.NewQueue[Request](k, "dram.req", cfg.QueueDepth),
-		Resp:  sim.NewQueue[Response](k, "dram.resp", cfg.RespDepth),
+		Req:   sim.NewQueue[Request](k, name+".req", cfg.QueueDepth),
+		Resp:  sim.NewQueue[Response](k, name+".resp", cfg.RespDepth),
 		img:   img,
 		banks: make([]bank, cfg.Banks),
+	}
+	if cfg.Name != "" {
+		d.Label = cfg.Name
 	}
 	for i := range d.banks {
 		d.banks[i].openRow = -1
@@ -205,7 +243,12 @@ func (d *DRAM) ActivityCount() uint64 {
 }
 
 // DiagnoseName labels this component in stall reports.
-func (d *DRAM) DiagnoseName() string { return "dram" }
+func (d *DRAM) DiagnoseName() string {
+	if d.Label != "" {
+		return d.Label
+	}
+	return "dram"
+}
 
 // Diagnose describes per-bank and scheduler state for stall reports.
 func (d *DRAM) Diagnose() []string {
@@ -238,6 +281,26 @@ func (d *DRAM) mapAddr(addr uint64) (bankIdx int, row int64) {
 
 // Tick implements sim.Component.
 func (d *DRAM) Tick(c sim.Cycle) {
+	stalled := false
+	d.burstExtra = 0
+	if d.Disrupt != nil {
+		frozen, st, extra := d.Disrupt.ChannelState(c)
+		if frozen {
+			// Hard outage: the channel does nothing. Requests pile up in
+			// Req, completed-but-undelivered work sits where it is, and
+			// in-flight completion times simply pass unobserved (their
+			// responses deliver on the first healthy cycle after the
+			// episode). The layer above is expected to notice the silence
+			// and fail over.
+			d.stats.OutageCycles++
+			return
+		}
+		stalled, d.burstExtra = st, extra
+		if stalled {
+			d.stats.StallCycles++
+		}
+	}
+
 	// Release fault-delayed responses whose hold expired.
 	if len(d.delayed) > 0 {
 		keep := d.delayed[:0]
@@ -272,7 +335,28 @@ func (d *DRAM) Tick(c sim.Cycle) {
 	}
 
 	// Issue: for each idle bank, pick the oldest pending request targeting
-	// it, preferring row hits (FR-FCFS-lite).
+	// it, preferring row hits (FR-FCFS-lite). A stall episode suppresses
+	// issue entirely — admitted requests wait in the window.
+	if !stalled {
+		d.issue(c)
+	}
+
+	// Complete.
+	remaining := d.window[:0]
+	for _, p := range d.window {
+		if !p.started || p.complete > c {
+			remaining = append(remaining, p)
+			continue
+		}
+		d.finish(p, c)
+	}
+	d.window = remaining
+}
+
+// issue picks, for each idle bank, the oldest pending request targeting
+// it, preferring row hits (FR-FCFS-lite), and schedules it on the shared
+// data bus.
+func (d *DRAM) issue(c sim.Cycle) {
 	for bi := range d.banks {
 		b := &d.banks[bi]
 		if b.busyUntil > c {
@@ -345,17 +429,6 @@ func (d *DRAM) Tick(c sim.Cycle) {
 		pick.complete = d.busFree
 		b.busyUntil = d.busFree
 	}
-
-	// Complete.
-	remaining := d.window[:0]
-	for _, p := range d.window {
-		if !p.started || p.complete > c {
-			remaining = append(remaining, p)
-			continue
-		}
-		d.finish(p, c)
-	}
-	d.window = remaining
 }
 
 // violate records the first timing-protocol violation.
@@ -391,6 +464,13 @@ func (d *DRAM) finish(p *pending, c sim.Cycle) {
 				return
 			}
 		}
+	}
+	// A burst-latency episode holds every response completing this cycle
+	// (reads and write acks alike) back by the episode's extra delay.
+	if d.burstExtra > 0 {
+		d.stats.BurstDelays++
+		d.delayed = append(d.delayed, delayedResp{readyAt: c + sim.Cycle(d.burstExtra), resp: resp})
+		return
 	}
 	d.deliver(resp)
 }

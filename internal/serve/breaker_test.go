@@ -273,3 +273,73 @@ func TestBreakerRecovers(t *testing.T) {
 
 // Compile-time interface checks.
 var _ sim.Component = (*Service)(nil)
+
+// TestBreakerHalfOpenTrapReopens pins the half-open race: a trap that
+// lands while probes are in flight must reopen the breaker (with a
+// doubled cooldown), and the straggler probe successes that were already
+// in flight must NOT close it afterwards — closed state may only be
+// reached through a full, clean probe round.
+func TestBreakerHalfOpenTrapReopens(t *testing.T) {
+	b := newBreaker(BreakerConfig{TrapTrip: 1, Cooldown: 50, Probes: 4})
+	b.recordTrap(1, 0)
+	b.maintain(1, func() bool { return true }) // drain, cooldown 50
+	b.maintain(52, func() bool { return true })
+	if b.state != BreakerHalfOpen {
+		t.Fatal("not half-open after cooldown")
+	}
+
+	// Admit all four probes; three succeed, then a trap races in before
+	// the last one resolves.
+	for i := 0; i < 4; i++ {
+		if ok, probe := b.admit(); !ok || !probe {
+			t.Fatalf("probe %d not admitted", i)
+		}
+	}
+	b.probeSuccess()
+	b.probeSuccess()
+	b.probeSuccess()
+	if b.state != BreakerHalfOpen {
+		t.Fatal("closed one probe early")
+	}
+	b.recordTrap(1, 60)
+	if b.state != BreakerOpen {
+		t.Fatalf("trap during half-open left state %v, want open", b.state)
+	}
+	if b.cooldown != 100 {
+		t.Fatalf("cooldown %d after half-open trap, want doubled to 100", b.cooldown)
+	}
+	if b.trips != 2 {
+		t.Fatalf("trips = %d, want 2", b.trips)
+	}
+
+	// The straggler: the fourth probe completes after the reopen. It must
+	// not flip the breaker closed from the open state.
+	b.probeSuccess()
+	if b.state != BreakerOpen {
+		t.Fatalf("late probe success closed an open breaker (state %v)", b.state)
+	}
+	// Nor may a late timeout in the open state touch the trip counters'
+	// closed-state semantics.
+	b.recordTimeout(61)
+	if b.state != BreakerOpen || b.timeouts != 0 {
+		t.Fatalf("late timeout perturbed open breaker: state %v timeouts %d", b.state, b.timeouts)
+	}
+
+	// The next probe round must demand a full clean sweep: after the
+	// doubled cooldown, four fresh successes close it.
+	b.maintain(62, func() bool { return true }) // drain again
+	b.maintain(163, func() bool { return true })
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("not half-open after doubled cooldown (state %v)", b.state)
+	}
+	if b.probeOK != 0 {
+		t.Fatalf("probe successes carried across reopen: %d", b.probeOK)
+	}
+	for i := 0; i < 4; i++ {
+		b.admit()
+		b.probeSuccess()
+	}
+	if b.state != BreakerClosed {
+		t.Fatal("clean probe round did not close")
+	}
+}

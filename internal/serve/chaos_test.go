@@ -8,16 +8,19 @@ import (
 )
 
 // chaosConfig is the full-load, full-fault-cocktail soak configuration:
-// bursty skewed multi-priority tenants at 1.5x overload over 4 shards,
-// with dropped and delayed DRAM responses, clogged controller queues and
-// meta-tag bit flips all injected from the run seed.
+// bursty skewed multi-priority tenants (the top priority SLO-governed)
+// at 1.5x overload over 4 shards and 2 DRAM channels, with dropped and
+// delayed DRAM responses, clogged controller queues, meta-tag bit flips,
+// and a channel-outage cocktail (burst latency, a hard outage, and an
+// issue stall) all injected from the run seed.
 func chaosConfig(seed uint64, workers int) Config {
 	return Config{
-		Shards: 4,
+		Shards:   4,
+		Channels: 2,
 		Tenants: []TenantGroup{
 			{Count: 12, Priority: 0, Rate: 0.02, Skew: 1.1},
 			{Count: 8, Priority: 3, Rate: 0.015, BurstLen: 1500, BurstOn: 0.3},
-			{Count: 4, Priority: 7, Rate: 0.01},
+			{Count: 4, Priority: 7, Rate: 0.01, SLO: 6000},
 		},
 		Keys:        1 << 13,
 		Duration:    40_000,
@@ -30,6 +33,11 @@ func chaosConfig(seed uint64, workers int) Config {
 			DelayMax:  128,
 			ClogQueue: 0.002,
 			FlipBit:   0.0005,
+			Channels: []check.ChannelFault{
+				{Channel: 0, Mode: check.ChanBurst, Start: 5_000, Cycles: 3_000, Extra: 64},
+				{Channel: 1, Mode: check.ChanOutage, Start: 15_000, Cycles: 5_000},
+				{Channel: 1, Mode: check.ChanStall, Start: 32_000, Cycles: 1_500},
+			},
 		},
 	}
 }
@@ -49,6 +57,23 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if r.Faults.Drops == 0 || r.Faults.Delays == 0 || r.Faults.Clogs == 0 || r.Faults.Flips == 0 {
 		t.Fatalf("a fault class never fired: %+v", *r.Faults)
+	}
+	if r.Faults.ChanFaults == 0 {
+		t.Fatal("channel fault episodes never fired")
+	}
+	// The hard outage must have tripped the failover machinery, and the
+	// channel must have been re-admitted before the end of the run.
+	if r.Degraded == nil || r.Degraded.Quarantines == 0 {
+		t.Fatal("channel outage never quarantined a channel")
+	}
+	if r.Degraded.EndedDegraded {
+		t.Error("channel still quarantined at end of run — recovery failed")
+	}
+	if r.Degraded.Resteered == 0 {
+		t.Error("quarantine without any re-steered traffic")
+	}
+	if r.SLO == nil {
+		t.Fatal("governed tenants but no SLO report")
 	}
 	if r.Totals.Completed == 0 {
 		t.Fatal("chaos run completed nothing")

@@ -25,6 +25,11 @@ const (
 	// ShedQueue: the shard's ingress queue is beyond this priority's
 	// depth threshold (lower priorities shed at shallower depths).
 	ShedQueue
+	// ShedSLO: the tenant's SLO governor has throttled its admission
+	// below the contracted rate because its observed p99 exceeded the
+	// latency budget — the service is trading this tenant's throughput
+	// for its latency, by policy.
+	ShedSLO
 )
 
 // String names the reason for logs and JSON.
@@ -36,6 +41,8 @@ func (r ShedReason) String() string {
 		return "rate"
 	case ShedQueue:
 		return "queue"
+	case ShedSLO:
+		return "slo"
 	}
 	return fmt.Sprintf("shed(%d)", int(r))
 }
@@ -55,6 +62,29 @@ func (e *OverloadError) Error() string {
 
 // Unwrap ties the typed error to the ErrOverload sentinel.
 func (e *OverloadError) Unwrap() error { return ErrOverload }
+
+// ErrDegraded is the sentinel every channel-degradation condition
+// unwraps to: errors.Is(err, ErrDegraded) holds whenever the service is
+// (or was) running with a DRAM channel quarantined. Degradation is not
+// fatal — the mux re-steers traffic around the sick channel — so it is
+// surfaced in reports rather than aborting the run.
+var ErrDegraded = errors.New("serve: degraded")
+
+// DegradedError is the typed channel-degradation record: which channel
+// was quarantined, when, and why. It unwraps to ErrDegraded.
+type DegradedError struct {
+	Channel int
+	Cycle   uint64
+	Reason  string // e.g. "no progress for 512 cycles", "probe timeout"
+}
+
+// Error implements error.
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("serve: degraded: channel %d quarantined at cycle %d (%s)", e.Channel, e.Cycle, e.Reason)
+}
+
+// Unwrap ties the typed error to the ErrDegraded sentinel.
+func (e *DegradedError) Unwrap() error { return ErrDegraded }
 
 // transientKind folds the check.FailureKind taxonomy into the retry
 // decision: a stalled attempt (timeout — the request may simply be stuck

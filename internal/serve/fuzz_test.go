@@ -38,6 +38,14 @@ func FuzzParseTenantSpec(f *testing.F) {
 		"4:rate=0.01,rate=0.02",
 		"999999999999999999999999",
 		"1;1;1;1;1;1;1;1",
+		"4@7:slo=6000",
+		"8@2:rate=0.02,slo=4096;4@7:slo=512",
+		"4:slo=0",
+		"4:slo=-1",
+		"4:slo=x",
+		"4:slo=",
+		"4:slo=999999999",
+		"4:slo=0.5",
 	}
 	for _, s := range seeds {
 		f.Add(s)

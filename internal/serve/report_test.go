@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"testing"
+
+	"xcache/internal/stats"
+)
+
+// TestLatencyOf pins the percentile summary's edge cases: an empty
+// window is all zeros, a single sample reports itself at every
+// percentile, all-equal samples collapse to that value, and mixed
+// distributions clamp bucket-top estimates to the observed max.
+func TestLatencyOf(t *testing.T) {
+	fold := func(samples []uint64) Latency {
+		var h stats.Histogram
+		var sum, max uint64
+		for _, v := range samples {
+			h.Add(v)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		return latencyOf(&h, sum, max, uint64(len(samples)))
+	}
+
+	cases := []struct {
+		name    string
+		samples []uint64
+		want    Latency
+	}{
+		{
+			name:    "empty window",
+			samples: nil,
+			want:    Latency{},
+		},
+		{
+			name:    "single sample",
+			samples: []uint64{137},
+			want:    Latency{P50: 137, P99: 137, P999: 137, Max: 137, Mean: 137},
+		},
+		{
+			name:    "single zero sample",
+			samples: []uint64{0},
+			want:    Latency{},
+		},
+		{
+			name:    "all equal",
+			samples: []uint64{500, 500, 500, 500},
+			want:    Latency{P50: 500, P99: 500, P999: 500, Max: 500, Mean: 500},
+		},
+		{
+			// 9 samples in bucket [64,128), one at 1000: p50 reports the
+			// low bucket's top (127), tail percentiles land in the high
+			// bucket and clamp to the observed max rather than the
+			// bucket top 1023.
+			name:    "tail clamps to observed max",
+			samples: []uint64{100, 100, 100, 100, 100, 100, 100, 100, 100, 1000},
+			want:    Latency{P50: 127, P99: 1000, P999: 1000, Max: 1000, Mean: 190},
+		},
+		{
+			// All samples share one power-of-two bucket [64,128): every
+			// percentile reports the bucket top clamped to the max.
+			name:    "one bucket spread",
+			samples: []uint64{64, 100, 120},
+			want:    Latency{P50: 120, P99: 120, P999: 120, Max: 120, Mean: 284.0 / 3},
+		},
+	}
+	for _, tc := range cases {
+		got := fold(tc.samples)
+		if got != tc.want {
+			t.Errorf("%s: latencyOf = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestLatencyPercentilesMonotone: for any sample set, p50 ≤ p99 ≤ p999 ≤
+// max — the clamp must never invert the ordering.
+func TestLatencyPercentilesMonotone(t *testing.T) {
+	sets := [][]uint64{
+		{1},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{10, 10, 10, 10_000},
+		{0, 0, 0, 1},
+		{1 << 20, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+	}
+	for _, samples := range sets {
+		var h stats.Histogram
+		var sum, max uint64
+		for _, v := range samples {
+			h.Add(v)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		l := latencyOf(&h, sum, max, uint64(len(samples)))
+		if l.P50 > l.P99 || l.P99 > l.P999 || l.P999 > l.Max {
+			t.Errorf("samples %v: percentiles not monotone: %+v", samples, l)
+		}
+	}
+}

@@ -65,7 +65,24 @@ type Config struct {
 
 	Shard core.Config  // per-shard cache geometry (default: scaled Widx point)
 	Spec  program.Spec // walker program (default: array-walk)
-	DRAM  dram.Config  // shared channel (default dram.DefaultConfig)
+	DRAM  dram.Config  // per-channel geometry/timing (default dram.DefaultConfig)
+
+	// Channels is the number of independent DRAM channels behind the mux
+	// (default 1, max 64). Each channel is a full dram.DRAM with its own
+	// banks, queues and data bus over the shared image.
+	Channels int
+	// ChannelPolicy steers requests across healthy channels:
+	// PolicyInterleave (default, row-granular address interleave) or
+	// PolicyAffine (shard mod Channels).
+	ChannelPolicy ChannelPolicy
+	// ChannelWatchdog is how many silent cycles (no channel progress
+	// with work pending) before the mux quarantines a channel and
+	// re-steers its traffic (default 512; meaningful only with ≥2
+	// channels).
+	ChannelWatchdog int
+	// SLOEpoch is the SLO governor's evaluation period in cycles
+	// (default 1024). Tenants acquire SLOs via TenantGroup.SLO.
+	SLOEpoch int
 
 	IngressDepth int     // per-shard ingress queue depth (default 64)
 	ForwardPer   int     // max ingress→controller forwards per shard per cycle (default 8)
@@ -131,6 +148,32 @@ func (c *Config) defaults() error {
 	}
 	if c.DRAM.Banks == 0 {
 		c.DRAM = dram.DefaultConfig()
+	}
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
+	if c.Channels < 1 || c.Channels > 64 {
+		return fmt.Errorf("serve: Channels %d outside [1, 64]", c.Channels)
+	}
+	for i, f := range c.Faults.Channels {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("serve: channel fault %d: %w", i, err)
+		}
+		if f.Channel >= c.Channels {
+			return fmt.Errorf("serve: channel fault %d targets channel %d of %d", i, f.Channel, c.Channels)
+		}
+	}
+	if c.ChannelWatchdog == 0 {
+		c.ChannelWatchdog = chanWatchdogDefault
+	}
+	if c.ChannelWatchdog < 0 {
+		return fmt.Errorf("serve: ChannelWatchdog %d negative", c.ChannelWatchdog)
+	}
+	if c.SLOEpoch == 0 {
+		c.SLOEpoch = sloEpochDefault
+	}
+	if c.SLOEpoch < 1 {
+		return fmt.Errorf("serve: SLOEpoch %d not positive", c.SLOEpoch)
 	}
 	if c.IngressDepth == 0 {
 		c.IngressDepth = 64
@@ -261,6 +304,7 @@ type tenantState struct {
 	shedRate       uint64
 	shedQueue      uint64
 	shedBreaker    uint64
+	shedSLO        uint64
 	failedDeadline uint64
 	failedTrap     uint64
 	retries        uint64
@@ -269,6 +313,19 @@ type tenantState struct {
 	lat    stats.Histogram
 	latSum uint64
 	latMax uint64
+
+	// SLO governor state (zero-valued and inert when slo == 0).
+	slo           uint64  // p99 budget in cycles
+	sloFactor     float64 // admission scale in [sloFloor, 1]
+	healthyStreak int     // consecutive healthy epochs
+	sloThrottles  uint64  // multiplicative-decrease steps taken
+	sloMet        uint64  // measured requests within budget (lifetime)
+	sloMeasured   uint64  // measured requests (completions + failures)
+	epochLat      stats.Histogram
+	epochN        uint64
+	epochMax      uint64
+	epochMet      uint64
+	epochTotal    uint64
 }
 
 // retryEntry schedules re-issue of a timed-out request.
@@ -300,12 +357,19 @@ type Service struct {
 
 	img     *mem.Image
 	base    uint64
-	d       *dram.DRAM
+	chans   []*dram.DRAM
 	mux     *dramMux
 	shards  []*shardState
 	tenants []tenantState
 	h       *check.Harness
 	inj     *check.Injector
+
+	// SLO governor fleet state, indexed by priority.
+	sloAny        bool
+	sloGoverned   [8]bool
+	sloEpochMet   [8]uint64
+	sloEpochTotal [8]uint64
+	sloSeries     [8][]float64
 
 	reqs    map[uint64]*reqState
 	nextID  uint64
@@ -350,7 +414,17 @@ func New(cfg Config) (*Service, error) {
 		s.Cfg.Expect = func(key uint64) (uint64, bool) { return s.valueOf(key), true }
 	}
 
-	s.d = dram.New(k, cfg.DRAM, img)
+	// M independent channels over the shared image. A single channel
+	// keeps the historical "dram" queue names (byte-compatible reports);
+	// multi-channel runs name each channel so diagnostics and the
+	// injector's per-queue clog streams stay distinguishable.
+	for i := 0; i < cfg.Channels; i++ {
+		dcfg := cfg.DRAM
+		if cfg.Channels > 1 {
+			dcfg.Name = fmt.Sprintf("dram%d", i)
+		}
+		s.chans = append(s.chans, dram.New(k, dcfg, img))
+	}
 
 	var ctrls []sim.Component
 	memReqs := make([]*sim.Queue[dram.Request], cfg.Shards)
@@ -370,7 +444,7 @@ func New(cfg Config) (*Service, error) {
 		s.shards = append(s.shards, sh)
 		ctrls = append(ctrls, cache.Ctrl)
 	}
-	s.mux = newDRAMMux(k, s.d, memReqs, memResps)
+	s.mux = newDRAMMux(k, s.chans, cfg.ChannelPolicy, cfg.ChannelWatchdog, memReqs, memResps)
 	k.Add(s)
 
 	// Shard controllers are mutually independent within a cycle (they
@@ -390,8 +464,13 @@ func New(cfg Config) (*Service, error) {
 
 	if cfg.Faults.Any() {
 		s.inj = check.NewInjector(cfg.Seed, cfg.Faults, k)
-		if cfg.Faults.DropResp > 0 || cfg.Faults.DelayResp > 0 {
-			s.d.Faults = s.inj
+		for i, d := range s.chans {
+			if cfg.Faults.DropResp > 0 || cfg.Faults.DelayResp > 0 {
+				d.Faults = s.inj
+			}
+			if dis := s.inj.ChannelDisruptor(i); dis != nil {
+				d.Disrupt = dis
+			}
 		}
 		for i, sh := range s.shards {
 			c := sh.cache.Ctrl
@@ -412,7 +491,9 @@ func New(cfg Config) (*Service, error) {
 			}
 		}
 		if cfg.Faults.ClogQueue > 0 {
-			s.inj.Clog(s.d.Resp)
+			for _, d := range s.chans {
+				s.inj.Clog(d.Resp)
+			}
 		}
 		if cfg.Faults.FlipBit > 0 {
 			k.Observe(s.inj)
@@ -420,6 +501,12 @@ func New(cfg Config) (*Service, error) {
 	}
 
 	s.tenants = expandTenants(cfg)
+	for i := range s.tenants {
+		if t := &s.tenants[i]; t.slo > 0 {
+			s.sloAny = true
+			s.sloGoverned[t.prio] = true
+		}
+	}
 	return s, nil
 }
 
@@ -437,6 +524,7 @@ func expandTenants(cfg Config) []tenantState {
 				group: gi, prio: g.Priority, rate: g.Rate, skew: g.Skew,
 				burstLen: g.BurstLen, burstOn: g.BurstOn,
 				tokens: cfg.BucketBurst, bucketRate: bucketRate,
+				slo: uint64(g.SLO), sloFactor: 1,
 			}
 			if g.BurstLen > 0 {
 				t.phase = mix64(cfg.Seed^uint64(ti)*0x9e3779b97f4a7c15^streamPhase) % uint64(g.BurstLen)
@@ -480,6 +568,7 @@ func (t *tenantState) effRate(c sim.Cycle) float64 {
 // conservation audit.
 func (s *Service) Tick(c sim.Cycle) {
 	s.drainResponses(c)
+	s.govern(uint64(c))
 	s.maintainBreakers(c)
 	s.generate(c)
 	s.forward(c)
@@ -518,6 +607,14 @@ func (s *Service) resolve(c sim.Cycle, st *reqState, sh *shardState, r ctrl.Meta
 		if lat > t.latMax {
 			t.latMax = lat
 		}
+		if t.slo > 0 {
+			t.epochLat.Add(lat)
+			t.epochN++
+			if lat > t.epochMax {
+				t.epochMax = lat
+			}
+			s.recordSLO(t, lat <= t.slo)
+		}
 		s.completed++
 		if st.probe {
 			sh.br.probeSuccess()
@@ -527,6 +624,7 @@ func (s *Service) resolve(c sim.Cycle, st *reqState, sh *shardState, r ctrl.Meta
 		// a trap mid-flight. Permanent in the FailureKind taxonomy
 		// (FailTrap) — deterministic, so no retry.
 		t.failedTrap++
+		s.recordSLO(t, false)
 		s.failed++
 		if st.probe {
 			sh.br.probeFail(c)
@@ -565,8 +663,11 @@ func (s *Service) generate(c sim.Cycle) {
 	}
 	for ti := range s.tenants {
 		t := &s.tenants[ti]
-		// Token refill is unconditional: capacity contracted, not offered.
-		if t.tokens += t.bucketRate; t.tokens > s.Cfg.BucketBurst {
+		// Token refill is unconditional — capacity contracted, not
+		// offered — but scaled by the SLO governor's admission factor:
+		// a tenant over its latency budget refills slower until it
+		// recovers.
+		if t.tokens += t.bucketRate * t.sloFactor; t.tokens > s.Cfg.BucketBurst {
 			t.tokens = s.Cfg.BucketBurst
 		}
 		p := t.effRate(c) * s.Cfg.Overload
@@ -601,13 +702,17 @@ func (s *Service) accept(c sim.Cycle, ti int, key uint64) {
 		}
 		probe = pr
 		if t.tokens < 1 {
+			// An empty bucket under a throttled factor is the governor's
+			// doing: the tenant is being shed to protect its latency
+			// budget, not because it exceeded its contracted rate.
+			if t.slo > 0 && t.sloFactor < 1 {
+				return &OverloadError{Tenant: ti, Shard: shard, Reason: ShedSLO}
+			}
 			return &OverloadError{Tenant: ti, Shard: shard, Reason: ShedRate}
 		}
-		// Priority-scaled depth threshold: priority p (0 lowest, 7
-		// highest) is admitted only while the queue is below (p+1)/8 of
-		// its depth, so the lowest priorities shed first as it grows.
-		limit := (t.prio + 1) * s.Cfg.IngressDepth / 8
-		if sh.ingress.Len()+sh.ingress.StagedLen() >= limit || !sh.ingress.CanPush() {
+		// Priority-scaled depth threshold (shrunk further by the SLO
+		// factor): lower priorities shed first as the queue grows.
+		if sh.ingress.Len()+sh.ingress.StagedLen() >= t.depthLimit(s.Cfg.IngressDepth) || !sh.ingress.CanPush() {
 			return &OverloadError{Tenant: ti, Shard: shard, Reason: ShedQueue}
 		}
 		return nil
@@ -619,6 +724,8 @@ func (s *Service) accept(c sim.Cycle, ti int, key uint64) {
 			t.shedRate++
 		case ShedQueue:
 			t.shedQueue++
+		case ShedSLO:
+			t.shedSLO++
 		}
 		s.shed++
 		return
@@ -761,6 +868,7 @@ func (s *Service) fail(c sim.Cycle, st *reqState, kind check.FailureKind) {
 	} else {
 		t.failedDeadline++
 	}
+	s.recordSLO(t, false)
 	s.failed++
 	if st.probe {
 		s.shards[st.shard].br.probeFail(c)
@@ -805,6 +913,17 @@ func (s *Service) Diagnose() []string {
 			sh.idx, sh.br.state, sh.br.trips, sh.ingress.Len(), len(sh.inflight)-sh.head, sh.timeouts))
 	}
 	return out
+}
+
+// Degraded returns the typed *DegradedError for the first channel still
+// quarantined or probing, or nil when every channel is healthy. It
+// unwraps to ErrDegraded. Degradation is survivable by design, so it is
+// surfaced here (and in the report) rather than failing Run.
+func (s *Service) Degraded() error {
+	if e := s.mux.degraded(); e != nil {
+		return e
+	}
+	return nil
 }
 
 // done: the arrival window has closed and every accepted request has

@@ -35,9 +35,9 @@ func checkLedger(t *testing.T, r *Report) {
 	for _, tr := range r.Tenants {
 		gen += tr.Generated
 		comp += tr.Completed
-		shed += tr.ShedRate + tr.ShedQueue + tr.ShedBreaker
+		shed += tr.ShedRate + tr.ShedQueue + tr.ShedBreaker + tr.ShedSLO
 		failed += tr.FailedDeadline + tr.FailedTrap
-		if tr.Generated != tr.Completed+tr.ShedRate+tr.ShedQueue+tr.ShedBreaker+tr.FailedDeadline+tr.FailedTrap {
+		if tr.Generated != tr.Completed+tr.ShedRate+tr.ShedQueue+tr.ShedBreaker+tr.ShedSLO+tr.FailedDeadline+tr.FailedTrap {
 			t.Errorf("tenant %d not conserved", tr.Tenant)
 		}
 	}

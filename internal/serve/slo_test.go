@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"testing"
+)
+
+// sloConfig: one governed tenant group under enough load that the
+// ungoverned p99 sits well above the tight budget.
+func sloConfig(slo int) Config {
+	return Config{
+		Shards:   2,
+		Tenants:  []TenantGroup{{Count: 8, Rate: 0.05, SLO: slo}},
+		Keys:     1 << 12,
+		Duration: 40_000,
+		Seed:     21,
+		Overload: 1.5,
+	}
+}
+
+// TestSLOGovernorThrottles: a tight p99 budget under overload drives the
+// AIMD factor below 1, sheds via ShedSLO, and the governed p99 does not
+// exceed the ungoverned p99 for the same workload.
+func TestSLOGovernorThrottles(t *testing.T) {
+	governed := run(t, sloConfig(512)) // tight: well under loaded p99
+	checkLedger(t, governed)
+
+	if governed.SLO == nil {
+		t.Fatal("no SLO report for governed run")
+	}
+	var throttles, shedSLO uint64
+	factorBelow := false
+	for _, tr := range governed.Tenants {
+		if tr.SLO == nil {
+			t.Fatalf("tenant %d governed but has no SLO report", tr.Tenant)
+		}
+		throttles += tr.SLO.Throttles
+		shedSLO += tr.ShedSLO
+		if tr.SLO.Factor < 1 {
+			factorBelow = true
+		}
+		if tr.SLO.Target != 512 {
+			t.Errorf("tenant %d SLO target %d, want 512", tr.Tenant, tr.SLO.Target)
+		}
+	}
+	if throttles == 0 {
+		t.Error("tight SLO under overload never throttled")
+	}
+	if shedSLO == 0 {
+		t.Error("throttled tenants never shed via ShedSLO")
+	}
+	if !factorBelow {
+		t.Error("no tenant ended with an admission factor below 1")
+	}
+
+	// Throttling admission must not make latency worse than leaving the
+	// same workload ungoverned.
+	ungovCfg := sloConfig(0)
+	ungoverned := run(t, ungovCfg)
+	if governed.Latency.P99 > ungoverned.Latency.P99 {
+		t.Errorf("governed p99 %d > ungoverned p99 %d — throttling made latency worse",
+			governed.Latency.P99, ungoverned.Latency.P99)
+	}
+	if ungoverned.SLO != nil {
+		t.Error("ungoverned run produced an SLO report")
+	}
+}
+
+// TestSLOSlackBudget: a budget far above the loaded p99 never throttles:
+// factor stays 1, nothing sheds on SLO grounds, attainment is ~perfect.
+func TestSLOSlackBudget(t *testing.T) {
+	r := run(t, sloConfig(1<<20))
+	checkLedger(t, r)
+	if r.SLO == nil {
+		t.Fatal("no SLO report")
+	}
+	for _, tr := range r.Tenants {
+		if tr.SLO == nil {
+			continue
+		}
+		if tr.SLO.Factor != 1 {
+			t.Errorf("tenant %d factor %.3f with a slack budget, want 1", tr.Tenant, tr.SLO.Factor)
+		}
+		if tr.SLO.Throttles != 0 {
+			t.Errorf("tenant %d throttled %d times with a slack budget", tr.Tenant, tr.SLO.Throttles)
+		}
+		if tr.ShedSLO != 0 {
+			t.Errorf("tenant %d shed %d on SLO with a slack budget", tr.Tenant, tr.ShedSLO)
+		}
+	}
+	for _, a := range r.SLO.Attainment {
+		if a.Measured > 0 && a.Attainment < 0.99 {
+			t.Errorf("priority %d attainment %.3f with a slack budget", a.Priority, a.Attainment)
+		}
+	}
+}
+
+// TestSLOGovernorRecovers: after sustained throttling, removing the
+// pressure (arrivals stop at Duration) lets epochs with low samples count
+// as healthy, so the factor climbs back toward 1 rather than wedging at
+// the floor. Verified indirectly: the ending factor must be above the
+// multiplicative floor after the drain epochs.
+func TestSLOGovernorRecovers(t *testing.T) {
+	cfg := sloConfig(512)
+	cfg.MaxCycles = 8 * cfg.Duration // long drain: many post-traffic epochs
+	r := run(t, cfg)
+	checkLedger(t, r)
+	for _, tr := range r.Tenants {
+		if tr.SLO == nil {
+			continue
+		}
+		if tr.SLO.Factor <= sloFloor {
+			t.Errorf("tenant %d factor %.4f still at the floor after drain — hysteresis wedged",
+				tr.Tenant, tr.SLO.Factor)
+		}
+	}
+}

@@ -17,6 +17,11 @@ type TenantGroup struct {
 	Skew     float64 // zipf key-popularity exponent, in [0, 8] (0 = uniform)
 	BurstLen int     // on/off burst period in cycles (0 = steady arrivals)
 	BurstOn  float64 // fraction of the period spent bursting, in (0, 1]
+	// SLO is the group's p99 latency budget in cycles (0 = ungoverned).
+	// Tenants with an SLO are governed by the adaptive admission
+	// controller: sustained p99 above the budget throttles the tenant's
+	// admitted rate (counted as ShedSLO) until latency recovers.
+	SLO int
 }
 
 // Spec-grammar limits; the fuzzer leans on these to keep parsed configs
@@ -26,6 +31,7 @@ const (
 	maxPriority   = 7
 	maxSkew       = 8
 	maxBurstLen   = 1 << 20
+	maxSLO        = 1 << 26
 )
 
 func (g TenantGroup) validate() error {
@@ -51,6 +57,9 @@ func (g TenantGroup) validate() error {
 	} else if g.BurstOn != 0 {
 		return fmt.Errorf("burst duty %v without a burst period", g.BurstOn)
 	}
+	if g.SLO < 0 || g.SLO > maxSLO {
+		return fmt.Errorf("slo %d outside [0, %d]", g.SLO, maxSLO)
+	}
 	return nil
 }
 
@@ -59,11 +68,14 @@ func (g TenantGroup) validate() error {
 //
 //	group  := COUNT [ '@' PRIORITY ] [ ':' kv ( ',' kv )* ]
 //	kv     := 'rate=' FLOAT | 'skew=' FLOAT | 'burst=' LEN '/' DUTY
+//	        | 'slo=' P99CYCLES
 //
 // e.g. "8@0:rate=0.05;56@2:rate=0.01,skew=1.2,burst=2000/0.25" — eight
 // priority-0 tenants at 5% load each plus 56 background tenants with a
-// skewed, bursty pattern. Defaults: priority 0, rate 0.01, skew 0, no
-// bursting. FormatTenantSpec is the canonical inverse.
+// skewed, bursty pattern — or "4@7:rate=0.02,slo=4096" for governed
+// tenants with a 4096-cycle p99 budget. Defaults: priority 0, rate
+// 0.01, skew 0, no bursting, no SLO. FormatTenantSpec is the canonical
+// inverse.
 func ParseTenantSpec(s string) ([]TenantGroup, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("serve: empty tenant spec")
@@ -141,6 +153,12 @@ func parseKV(g *TenantGroup, kv string) error {
 			return fmt.Errorf("bad burst duty %q: %v", ds, err)
 		}
 		g.BurstLen, g.BurstOn = l, d
+	case "slo":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad slo %q: %v", val, err)
+		}
+		g.SLO = n
 	default:
 		return fmt.Errorf("unknown key %q", key)
 	}
@@ -162,6 +180,9 @@ func FormatTenantSpec(groups []TenantGroup) string {
 		if g.BurstLen != 0 {
 			fmt.Fprintf(&b, ",burst=%d/%s", g.BurstLen,
 				strconv.FormatFloat(g.BurstOn, 'g', -1, 64))
+		}
+		if g.SLO != 0 {
+			fmt.Fprintf(&b, ",slo=%d", g.SLO)
 		}
 	}
 	return b.String()
