@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify vet fmt golden race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke fuzz execdiff bench bench-json bench-json-0 bench-diff ci
+.PHONY: verify vet fmt golden race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke fuzz litmus execdiff bench bench-json bench-json-0 bench-diff ci
 
 # Tier-1: the gate every change must pass (see ROADMAP.md), plus the
 # static gates and the race detector over the parallel sweep engine.
@@ -76,9 +76,11 @@ approx-check:
 # controller; FuzzParseTenantSpec pins the xcache-serve tenant grammar
 # (accept implies valid, canonical-format round-trip);
 # FuzzIntervalPlan/FuzzReplayTags pin the approx tier's
-# reject-degenerate-plans-with-typed-errors contract.
+# reject-degenerate-plans-with-typed-errors contract; FuzzCoherence pins
+# the coherent hierarchy against its flat single-port oracle (including
+# the committed regression input for the grant/back-inval race).
 fuzz-smoke:
-	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl ./internal/serve ./internal/approx
+	$(GO) test -run Fuzz -count=1 ./internal/isa ./internal/ctrl ./internal/serve ./internal/approx ./internal/hier
 
 # Open-ended fuzzing (not part of ci): 30s per target, promote anything
 # interesting from the build cache into testdata/fuzz/ before committing.
@@ -90,6 +92,16 @@ fuzz:
 	$(GO) test -fuzz FuzzParseTenantSpec -fuzztime 30s ./internal/serve
 	$(GO) test -fuzz FuzzIntervalPlan -fuzztime 30s ./internal/approx
 	$(GO) test -fuzz FuzzReplayTags -fuzztime 30s ./internal/approx
+	$(GO) test -fuzz FuzzCoherence -fuzztime 30s ./internal/hier
+
+# Coherence litmus + protocol suite, race-gated: the golden-pinned litmus
+# outcomes (store buffering, message passing, load buffering, write
+# serialization, upgrade, inclusion), the MESI-lite unit tests (sharing,
+# invalidation, eviction writeback, merge serialization, fault retry and
+# the liveness trap), and the coh-share figure's golden + shape checks.
+litmus:
+	$(GO) test -race -count=1 -run 'TestLitmus|TestCoh' ./internal/hier
+	$(GO) test -race -count=1 -run 'TestCohShare' ./internal/exp
 
 # Executor equivalence, race-gated: the per-cycle lockstep differential
 # harness and trap-parity matrix over both microcode executors
@@ -125,4 +137,4 @@ bench-json-0:
 bench-diff:
 	XCACHE_BENCH_WORKERS=8 $(GO) run ./cmd/xcache-bench -scale 25 -hotloop -bench-diff BENCH_1.json >/dev/null
 
-ci: verify race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke execdiff
+ci: verify race faultsmoke soak servesmoke slosmoke approx-check fuzz-smoke litmus execdiff

@@ -27,6 +27,16 @@
 //	4  cycle budget exhausted
 //	5  microcode trap (structural program fault; walker quiesced)
 //	6  program rejected by the static verifier at load
+//	7  coherence protocol violation (multi-level hierarchy runs)
+//
+// Hierarchy mode runs the coherent two-level system instead of a DSA:
+//
+//	xcache-sim -hier mx2                  # canned 2-port scenario over a shared L2
+//	xcache-sim -hier mx2 -faults 0.3      # drop 30% of snoops (retry path)
+//	xcache-sim -hier mx2 -faults 1        # exhaust retries: liveness trap, exit 7
+//
+// In -hier mode -faults is the snoop-drop probability; coherence
+// invariants (single-writer, inclusion, no-stale-fill) are always on.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"xcache/internal/dsa/spgemm"
 	"xcache/internal/dsa/widx"
 	"xcache/internal/hashidx"
+	"xcache/internal/hier"
 	"xcache/internal/program"
 )
 
@@ -57,11 +68,18 @@ func main() {
 	faults := flag.Float64("faults", 0, "DRAM read-response drop probability (enables fault injection + -check)")
 	seed := flag.Uint64("seed", 1, "fault-injection seed (same seed → identical run)")
 	watchdog := flag.Int("watchdog", 50_000, "cycles without forward progress before declaring a stall")
+	hierMode := flag.String("hier", "", "mx2 → run the coherent 2-port hierarchy scenario instead of a DSA")
 	flag.Parse()
 
 	if *faults < 0 || *faults > 1 {
 		fmt.Fprintln(os.Stderr, "xcache-sim: -faults must be a probability in [0, 1]")
 		os.Exit(1)
+	}
+	if *hierMode != "" {
+		if err := runHier(*hierMode, *faults, *seed, *watchdog); err != nil {
+			exit(err)
+		}
+		return
 	}
 	var cc *check.Config
 	if *doCheck || *faults > 0 {
@@ -96,12 +114,15 @@ func main() {
 // simFailure is the machine-readable failure record emitted on stderr.
 type simFailure struct {
 	Error       string             `json:"error"`
-	Kind        string             `json:"kind"` // stall | invariant | overflow | budget | trap | verify | usage
+	Kind        string             `json:"kind"` // stall | invariant | overflow | budget | trap | verify | coherence | usage
 	TrapKind    string             `json:"trap_kind,omitempty"`
 	Cycle       int64              `json:"cycle,omitempty"`
 	StallCycles int64              `json:"stall_cycles,omitempty"`
 	StuckQueues []string           `json:"stuck_queues,omitempty"`
 	Report      *check.StallReport `json:"report,omitempty"`
+	// Coherence carries the typed protocol violation (rule, key, cycle)
+	// when Kind is "coherence".
+	Coherence *check.CoherenceViolation `json:"coherence,omitempty"`
 }
 
 // exit classifies err through the check taxonomy, emits the structured
@@ -112,6 +133,7 @@ func exit(err error) {
 	var cf *check.Failure
 	var trap *ctrl.Trap
 	var ve *program.VerifyError
+	var cv *check.CoherenceViolation
 	if errors.As(err, &cf) {
 		f.Kind = cf.Kind.String()
 		switch cf.Kind {
@@ -123,6 +145,8 @@ func exit(err error) {
 			code = 4
 		case check.FailTrap:
 			code = 5
+		case check.FailCoherence:
+			code = 7
 		}
 		if rep := cf.Report; rep != nil {
 			f.Cycle = int64(rep.Cycle)
@@ -130,6 +154,11 @@ func exit(err error) {
 			f.StuckQueues = rep.StuckQueues()
 			f.Report = rep
 		}
+	} else if errors.As(err, &cv) {
+		// A violation latched by the hierarchy directly (liveness trap or
+		// per-cycle invariant), outside a supervised check.Run.
+		f.Kind = "coherence"
+		code = 7
 	} else if errors.As(err, &trap) {
 		// A trap surfaced outside a supervised run (the DSA's post-run
 		// Trap() check on an unsupervised kernel).
@@ -142,12 +171,87 @@ func exit(err error) {
 	if errors.As(err, &trap) {
 		f.TrapKind = trap.Kind.String()
 	}
+	if errors.As(err, &cv) {
+		f.Coherence = cv
+		f.Cycle = int64(cv.Cycle)
+	}
 	enc := json.NewEncoder(os.Stderr)
 	enc.SetIndent("", "  ")
 	if encErr := enc.Encode(f); encErr != nil {
 		fmt.Fprintln(os.Stderr, "xcache-sim:", err)
 	}
 	os.Exit(code)
+}
+
+// runHier runs the canned coherent-hierarchy scenario: two L1 X-Cache
+// ports over a shared inclusive L2, driven through a deterministic mix of
+// read sharing, ownership migration, and capacity pressure, under the
+// full per-cycle coherence invariant checker. faultProb is the seeded
+// snoop-drop probability: moderate drops recover through the retry path;
+// total loss exhausts the retry budget and traps with exit code 7.
+func runHier(mode string, faultProb float64, seed uint64, watchdog int) error {
+	if mode != "mx2" {
+		return fmt.Errorf("unknown -hier mode %q (supported: mx2)", mode)
+	}
+	// A 64-entry shared L2 under a 128-key footprint: the cold sweep
+	// forces L2 capacity evictions, so inclusion back-invalidation runs
+	// as part of the scenario, not just the litmus suite.
+	s, err := hier.NewCohSystem(hier.CohConfig{
+		Ports:   2,
+		L1:      hier.L1Config{Sets: 16, Ways: 2, WordsPerSector: 1},
+		L2Sets:  16,
+		L2Ways:  4,
+		NumKeys: 128,
+		Faults:  hier.CohFaults{DropSnoop: faultProb, Seed: seed},
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < s.Cfg.NumKeys; i++ {
+		s.Seed(i, uint64(1000+i*3))
+	}
+	// 512 ops per port in three interleaved flavours: shared reads over a
+	// hot region, merges migrating ownership between the ports, and a
+	// cold sweep that pressures the L2 into back-invalidations.
+	scripts := make([][]hier.ScriptOp, 2)
+	for p := 0; p < 2; p++ {
+		for i := 0; i < 512; i++ {
+			switch i % 3 {
+			case 0:
+				scripts[p] = append(scripts[p], hier.Ld(uint64((i*7+p)%32)))
+			case 1:
+				scripts[p] = append(scripts[p], hier.Merge(uint64(i%16), 1))
+			default:
+				scripts[p] = append(scripts[p], hier.Ld(uint64(32+(i*13+p*61)%96)))
+			}
+		}
+	}
+	h := check.Attach(s.K, &check.Config{Watchdog: watchdog, Invariants: true})
+	if _, err := hier.RunScripts(s, h, scripts, 2_000_000); err != nil {
+		return err
+	}
+	fmt.Printf("hier mx2: 2 ports × 512 ops over a shared inclusive L2\n")
+	fmt.Printf("  cycles           %d\n", s.K.Cycle())
+	for p, l1 := range s.Ports {
+		st := l1.Stats()
+		hitPct := 0.0
+		if st.Hits+st.Misses > 0 {
+			hitPct = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		fmt.Printf("  L1[%d]            %d loads, %d stores, %.1f%% hit, %d upgrades, %d snoops, %d evictions\n",
+			p, st.Loads, st.Stores, hitPct, st.Upgrades, st.Snoops, st.Evictions)
+	}
+	ds := s.Dir.Stats()
+	fmt.Printf("  directory        %d txns, %d grants, %d invals, %d downgrades\n",
+		ds.Txns, ds.Grants, ds.Invals, ds.Downgrades)
+	fmt.Printf("  inclusion        %d back-invals, %d writebacks, %d flushes\n",
+		ds.BackInvals, ds.Writebacks, ds.Flushes)
+	if faultProb > 0 {
+		fmt.Printf("  faults           %d snoops dropped, %d retried (seed %d)\n",
+			ds.SnoopDrops, ds.SnoopRetry, seed)
+	}
+	fmt.Printf("  invariants       single-writer, inclusion, no-stale-fill held for %d cycles\n", s.K.Cycle())
+	return nil
 }
 
 func run(name, kind, query string, scale int, cc *check.Config) (dsa.Result, error) {

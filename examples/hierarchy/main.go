@@ -87,7 +87,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	l1 := hier.NewMetaL1(k, hier.L1Config{Sets: 16, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	l1, err := hier.NewMetaL1(k, hier.L1Config{Sets: 16, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
 	l2.SetEnv(0, fillArray(img, 512))
 
 	v, cold := probe(k, l1.ReqQ, l1.RespQ, 42)

@@ -22,6 +22,7 @@
 package check
 
 import (
+	"errors"
 	"fmt"
 
 	"xcache/internal/ctrl"
@@ -129,12 +130,16 @@ func Attach(k *sim.Kernel, cfg *Config) *Harness {
 
 	var ctrls []*ctrl.Controller
 	var drams []*dram.DRAM
+	var cohs []CoherenceSource
 	for _, c := range k.Components() {
 		switch v := c.(type) {
 		case *ctrl.Controller:
 			ctrls = append(ctrls, v)
 		case *dram.DRAM:
 			drams = append(drams, v)
+		}
+		if s, ok := c.(CoherenceSource); ok {
+			cohs = append(cohs, s)
 		}
 		if d, ok := c.(Diagnoser); ok {
 			h.diags = append(h.diags, d)
@@ -151,6 +156,9 @@ func Attach(k *sim.Kernel, cfg *Config) *Harness {
 			d.EnableProtocolCheck()
 		}
 		h.inv = newInvariants(k)
+		for _, s := range cohs {
+			h.inv.checkers = append(h.inv.checkers, newCohChecker(s))
+		}
 		k.Observe(h.inv)
 	}
 	if cfg.Faults.Any() {
@@ -268,7 +276,7 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 	for i := 0; i < max; i++ {
 		if done() {
 			if err := h.Err(); err != nil {
-				return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
+				return false, h.report(invariantKind(err), fmt.Sprintf("invariant violated: %v", err))
 			}
 			if t := h.trapped(); t != nil {
 				return false, h.trapReport(t)
@@ -279,7 +287,7 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 			return false, h.report(FailOverflow, fmt.Sprintf("queue overflow: %v", err))
 		}
 		if err := h.Err(); err != nil {
-			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
+			return false, h.report(invariantKind(err), fmt.Sprintf("invariant violated: %v", err))
 		}
 		if t := h.trapped(); t != nil {
 			return false, h.trapReport(t)
@@ -290,7 +298,7 @@ func Run(h *Harness, k *sim.Kernel, done func() bool, max int) (bool, *StallRepo
 	}
 	if done() {
 		if err := h.Err(); err != nil {
-			return false, h.report(FailInvariant, fmt.Sprintf("invariant violated: %v", err))
+			return false, h.report(invariantKind(err), fmt.Sprintf("invariant violated: %v", err))
 		}
 		if t := h.trapped(); t != nil {
 			return false, h.trapReport(t)
@@ -315,6 +323,17 @@ func (h *Harness) step() (err error) {
 	}()
 	h.k.Step()
 	return nil
+}
+
+// invariantKind classifies a latched invariant error: coherence protocol
+// violations get their own FailureKind so callers can separate a protocol
+// bug from an ordinary microarchitectural invariant failure.
+func invariantKind(err error) FailureKind {
+	var cv *CoherenceViolation
+	if errors.As(err, &cv) {
+		return FailCoherence
+	}
+	return FailInvariant
 }
 
 // trapReport folds a structural microcode trap into a StallReport. The

@@ -115,6 +115,7 @@ const (
 	FailOverflow                         // recovered queue-overflow (MustPush) panic
 	FailBudget                           // cycle budget exhausted while still making progress
 	FailTrap                             // structural microcode fault (ctrl.Trap): walker quiesced
+	FailCoherence                        // hierarchy coherence protocol violation (CoherenceViolation)
 )
 
 // MarshalJSON renders the kind by name, so a serialized StallReport is
@@ -136,6 +137,8 @@ func (k FailureKind) String() string {
 		return "budget"
 	case FailTrap:
 		return "trap"
+	case FailCoherence:
+		return "coherence"
 	}
 	return fmt.Sprintf("failure(%d)", int(k))
 }

@@ -307,7 +307,31 @@ type Controller struct {
 	// sink, when non-nil, receives the meta-tag reference trace (see
 	// trace.go); internal/approx replays it against other geometries.
 	sink TraceSink
+
+	// evictHook, when non-nil, observes every stable entry leaving the
+	// meta-tag array (see SetEvictHook). internal/hier's coherence
+	// directory uses it for inclusion-enforced back-invalidation.
+	evictHook func(EvictNote) bool
 }
+
+// EvictNote describes a meta-tag entry leaving the controller's array —
+// capacity eviction, drain, flush, or parity scrub. Words holds the
+// entry's data words read before the sectors are freed (nil when the
+// entry held no sectors, or when a parity scrub made them untrustworthy).
+type EvictNote struct {
+	Key   metatag.Key
+	Dirty bool
+	Words []uint64
+}
+
+// SetEvictHook registers fn to observe every stable entry leaving the
+// array. When fn returns true for a dirty victim it has taken ownership
+// of the writeback and the controller skips its own spill to the victim
+// region; the return value is ignored on all other paths. Entries removed
+// by the walker itself (abort, deallocm) are its own transient
+// allocations — no upstream level ever observed them as present — and do
+// not fire the hook.
+func (c *Controller) SetEvictHook(fn func(EvictNote) bool) { c.evictHook = fn }
 
 // fillRec tracks one outstanding DRAM fill for the timeout/retry path.
 type fillRec struct {
@@ -813,6 +837,11 @@ func (c *Controller) spawn(cy sim.Cycle, req MetaReq) {
 // before the array invalidates it; the next probe of its key misses and
 // the walker refetches clean data from DRAM.
 func (c *Controller) scrubEntry(e *metatag.Entry) {
+	if c.evictHook != nil {
+		// Scrubbed data is untrustworthy; report the invalidation without
+		// a value so an upstream level back-invalidates rather than adopts.
+		c.evictHook(EvictNote{Key: e.Key})
+	}
 	if e.SectorCount > 0 {
 		c.Data.Free(e.SectorBase, e.SectorCount)
 	}
@@ -977,7 +1006,18 @@ func (c *Controller) DrainStable(fn func(Drained)) int {
 		var v uint64
 		if e.SectorCount > 0 {
 			v = c.Data.Read(c.Data.SectorWordBase(e.SectorBase))
+			if c.evictHook != nil {
+				words := int(e.SectorCount) * c.Data.Cfg.WordsPerSector
+				base := c.Data.SectorWordBase(e.SectorBase)
+				data := make([]uint64, words)
+				for i := range data {
+					data[i] = c.Data.Read(base + int32(i))
+				}
+				c.evictHook(EvictNote{Key: e.Key, Dirty: e.Dirty, Words: data})
+			}
 			c.Data.Free(e.SectorBase, e.SectorCount)
+		} else if c.evictHook != nil {
+			c.evictHook(EvictNote{Key: e.Key, Dirty: e.Dirty})
 		}
 		if fn != nil {
 			fn(Drained{Key: e.Key, Value: v})
@@ -997,6 +1037,10 @@ func (c *Controller) FlushStable() int {
 	c.Tags.ForEach(func(e *metatag.Entry) {
 		if e.Walker != metatag.NoWalker || e.State != program.StateValid {
 			return
+		}
+		if c.evictHook != nil {
+			// Flush drops data by contract, so no value travels with the note.
+			c.evictHook(EvictNote{Key: e.Key, Dirty: e.Dirty})
 		}
 		if e.SectorCount > 0 {
 			c.Data.Free(e.SectorBase, e.SectorCount)

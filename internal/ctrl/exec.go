@@ -582,24 +582,32 @@ func (c *Controller) reclaim(ev *metatag.Evicted) {
 		return
 	}
 	if ev.SectorCount > 0 {
-		if ev.Dirty {
+		if ev.Dirty || c.evictHook != nil {
 			words := int(ev.SectorCount) * c.Data.Cfg.WordsPerSector
 			base := c.Data.SectorWordBase(ev.SectorBase)
 			data := make([]uint64, words)
 			for i := range data {
 				data[i] = c.Data.Read(base + int32(i))
 			}
-			// Dirty meta data spills to a per-cache victim region keyed by
-			// tag hash; DSAs that need spilled data back re-walk for it.
-			addr := c.spillAddr(ev.Key)
-			c.MemReq.MustPush(dram.Request{ID: wbIDFlag, Addr: addr, Words: words, Write: true, Data: data})
-			c.stats.WritebacksIssued++
-			if c.Meter != nil {
-				c.Meter.DRAMAccesses++
-				c.Meter.DRAMBytes += uint64(words) * 8
+			handled := false
+			if c.evictHook != nil {
+				handled = c.evictHook(EvictNote{Key: ev.Key, Dirty: ev.Dirty, Words: data})
+			}
+			if ev.Dirty && !handled {
+				// Dirty meta data spills to a per-cache victim region keyed by
+				// tag hash; DSAs that need spilled data back re-walk for it.
+				addr := c.spillAddr(ev.Key)
+				c.MemReq.MustPush(dram.Request{ID: wbIDFlag, Addr: addr, Words: words, Write: true, Data: data})
+				c.stats.WritebacksIssued++
+				if c.Meter != nil {
+					c.Meter.DRAMAccesses++
+					c.Meter.DRAMBytes += uint64(words) * 8
+				}
 			}
 		}
 		c.Data.Free(ev.SectorBase, ev.SectorCount)
+	} else if c.evictHook != nil {
+		c.evictHook(EvictNote{Key: ev.Key, Dirty: ev.Dirty})
 	}
 }
 

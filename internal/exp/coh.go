@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"xcache/internal/check"
+	"xcache/internal/hier"
+	"xcache/internal/stats"
+)
+
+// cohShareOps is the per-port script length of every FigCohShare cell:
+// long enough that steady-state sharing behaviour dominates cold misses,
+// short enough for the golden test.
+const cohShareOps = 384
+
+// cohSharePattern generates port p's script for one sharing pattern.
+// All three patterns issue the same op count over the same key-space size,
+// so the cells differ only in how the ports overlap:
+//
+//	private   — disjoint 16-key slices per port: no line ever has two homes
+//	shared-rd — every port reads the same 16 keys: Shared copies everywhere
+//	contended — every port merges into the same 8 keys: ownership migrates
+func cohSharePattern(pattern string, p, ports int) []hier.ScriptOp {
+	ops := make([]hier.ScriptOp, 0, cohShareOps)
+	for i := 0; i < cohShareOps; i++ {
+		switch pattern {
+		case "private":
+			k := uint64(p*16 + i%16)
+			if i%4 == 3 {
+				ops = append(ops, hier.Merge(k, 1))
+			} else {
+				ops = append(ops, hier.Ld(k))
+			}
+		case "shared-rd":
+			ops = append(ops, hier.Ld(uint64((i+p*5)%16)))
+		case "contended":
+			ops = append(ops, hier.Merge(uint64((i+p*3)%8), 1))
+		}
+	}
+	return ops
+}
+
+// runCohShare runs one (ports, pattern) cell under full invariant
+// checking and returns the system plus the cycle count at completion.
+func runCohShare(ports int, pattern string) (*hier.CohSystem, uint64, error) {
+	// 64-entry L1s: the 16-key working sets below fit even under the
+	// meta-tag array's hashed set index, so the private column measures
+	// sharing cost, not conflict misses.
+	s, err := hier.NewCohSystem(hier.CohConfig{
+		Ports:   ports,
+		L1:      hier.L1Config{Sets: 16, Ways: 4, WordsPerSector: 1},
+		NumKeys: 64,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := 0; i < 64; i++ {
+		s.Seed(i, uint64(100+i))
+	}
+	scripts := make([][]hier.ScriptOp, ports)
+	for p := 0; p < ports; p++ {
+		scripts[p] = cohSharePattern(pattern, p, ports)
+	}
+	h := check.Attach(s.K, check.Default())
+	if _, err := hier.RunScripts(s, h, scripts, 500_000); err != nil {
+		return nil, 0, fmt.Errorf("coh-share %s/p%d: %w", pattern, ports, err)
+	}
+	return s, uint64(s.K.Cycle()), nil
+}
+
+// FigCohShare sweeps the coherent hierarchy over port counts × sharing
+// patterns: the cost of coherence is the gap between the private column
+// (pure capacity behaviour) and the contended one (ownership migration on
+// every store). Every cell runs under the full per-cycle coherence
+// invariant checker, so the figure doubles as a protocol soak.
+func FigCohShare() (*Out, error) {
+	t := stats.NewTable("Fig C — shared-L2 hierarchy under sharing patterns",
+		"Ports", "Pattern", "Cycles", "L1 hit %", "Grants", "Invals", "Downgrades", "WB")
+	m := map[string]float64{}
+	cells := map[string]uint64{}
+	for _, ports := range []int{1, 2, 4} {
+		for _, pattern := range []string{"private", "shared-rd", "contended"} {
+			s, cycles, err := runCohShare(ports, pattern)
+			if err != nil {
+				return nil, err
+			}
+			var hits, misses uint64
+			for _, l1 := range s.Ports {
+				st := l1.Stats()
+				hits += st.Hits
+				misses += st.Misses
+			}
+			hitPct := 0.0
+			if hits+misses > 0 {
+				hitPct = 100 * float64(hits) / float64(hits+misses)
+			}
+			ds := s.Dir.Stats()
+			t.Add(fmt.Sprintf("%d", ports), pattern, stats.I(int(cycles)),
+				fmt.Sprintf("%.1f", hitPct), stats.I(int(ds.Grants)),
+				stats.I(int(ds.Invals)), stats.I(int(ds.Downgrades)), stats.I(int(ds.Writebacks)))
+			cells[fmt.Sprintf("%s_p%d", pattern, ports)] = cycles
+			if ports == 4 && pattern == "contended" {
+				m["invals_per_op_contended_p4"] = float64(ds.Invals) / float64(4*cohShareOps)
+			}
+			if ports == 4 && pattern == "shared-rd" {
+				m["shared_hit_pct_p4"] = hitPct
+			}
+		}
+	}
+	m["contended_vs_private_cycles_p4"] = float64(cells["contended_p4"]) / float64(cells["private_p4"])
+	return &Out{ID: "coh-share", Table: t, Metrics: m,
+		Notes: []string{
+			"private at 4 ports exposes inclusion thrash: 64 keys hash one hot L2 set, and every L2 conflict eviction back-invalidates an L1 copy that must re-walk DRAM",
+			"contended stays on-chip: each merge recalls the previous owner cache-to-cache, so it outruns DRAM-bound private despite ~1 invalidation per op",
+			"shared-rd is free: Shared copies replicate without any snoop traffic",
+			"all cells ran under per-cycle single-writer / inclusion / no-stale-fill checking",
+		}}, nil
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// cohGoldenPath lives beside — not inside — testdata/golden: the bench
+// set and its stale-snapshot scan stay untouched by the hierarchy figure.
+func cohGoldenPath() string {
+	return filepath.Join("testdata", "coh-share.golden.json")
+}
+
+// TestCohShareGolden pins FigCohShare byte-for-byte: cycle counts, hit
+// rates, and the directory's protocol ledger across every (ports,
+// pattern) cell. Any protocol or timing change shows up as a diff here
+// even when it stays architecturally legal. Regenerate with -update.
+func TestCohShareGolden(t *testing.T) {
+	o, err := FigCohShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := marshalOut(t, o)
+	path := cohGoldenPath()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("coh-share drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCohShareShape checks the architectural claims the figure's notes
+// make, independent of the pinned numbers.
+func TestCohShareShape(t *testing.T) {
+	o, err := FigCohShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contended migrates ownership on nearly every merge.
+	if v := o.Metrics["invals_per_op_contended_p4"]; v < 0.5 {
+		t.Errorf("contended pattern invalidations per op = %.3f, want >= 0.5", v)
+	}
+	// Shared readers replicate freely and hit locally.
+	if o.Metrics["shared_hit_pct_p4"] <= 50 {
+		t.Errorf("shared read pattern hit rate %.1f%%, expected locality above 50%%",
+			o.Metrics["shared_hit_pct_p4"])
+	}
+	// Ownership migration is cache-to-cache: contended must not be
+	// DRAM-bound, so it stays within 2x of the private cells.
+	if v := o.Metrics["contended_vs_private_cycles_p4"]; v <= 0 || v > 2 {
+		t.Errorf("contended/private cycle ratio %.3f outside (0, 2]", v)
+	}
+}

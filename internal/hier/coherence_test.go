@@ -1,0 +1,187 @@
+package hier
+
+import (
+	"errors"
+	"testing"
+
+	"xcache/internal/check"
+)
+
+// cohRun builds a system, seeds keys 0..n-1 with seed(i), and runs the
+// scripts under full invariant checking.
+func cohRun(t *testing.T, cfg CohConfig, seed func(int) uint64, scripts [][]ScriptOp) (*CohSystem, [][]uint64) {
+	t.Helper()
+	s, err := NewCohSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Cfg.NumKeys; i++ {
+		s.Seed(i, seed(i))
+	}
+	h := check.Attach(s.K, check.Default())
+	res, err := RunScripts(s, h, scripts, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+// TestCohReadSharing: concurrent loads of one key leave both ports
+// Shared, served by a single L2 walk.
+func TestCohReadSharing(t *testing.T) {
+	s, res := cohRun(t, CohConfig{}, func(i int) uint64 { return uint64(i + 100) }, [][]ScriptOp{
+		{Ld(4), Ld(4), Ld(4)},
+		{Ld(4), Ld(4)},
+	})
+	for p, vals := range res {
+		for i, v := range vals {
+			if v != 104 {
+				t.Errorf("port %d load %d = %d, want 104", p, i, v)
+			}
+		}
+	}
+	if st := s.L2.Ctrl.Stats(); st.Misses != 1 {
+		t.Errorf("L2 walks = %d, want 1 (one fill serves every sharer)", st.Misses)
+	}
+	if inv := s.Dir.Stats().Invals; inv != 0 {
+		t.Errorf("%d invalidations for a read-only workload", inv)
+	}
+	// Repeat loads hit locally: 5 loads, 2 directory read transactions.
+	if hits := s.Ports[0].Stats().Hits + s.Ports[1].Stats().Hits; hits != 3 {
+		t.Errorf("L1 hits = %d, want 3", hits)
+	}
+}
+
+// TestCohStoreInvalidates: a store recalls every reader's copy; the
+// readers' next loads observe the new value.
+func TestCohStoreInvalidates(t *testing.T) {
+	s, res := cohRun(t, CohConfig{}, func(int) uint64 { return 9 }, [][]ScriptOp{
+		{Ld(2), Poll(2, 77)},
+		{Ld(2), St(2, 77)},
+	})
+	if res[0][0] != 9 || res[1][0] != 9 {
+		t.Fatalf("initial loads = %d/%d, want 9", res[0][0], res[1][0])
+	}
+	if res[0][1] != 77 {
+		t.Fatalf("port 0 re-read %d after the store, want 77", res[0][1])
+	}
+	if s.Dir.Stats().Invals == 0 {
+		t.Error("store over a shared copy sent no invalidation")
+	}
+}
+
+// TestCohL1EvictionWriteback: a Modified line silently evicted from a
+// one-entry L1 reaches the L2, and another port reads it back intact.
+func TestCohL1EvictionWriteback(t *testing.T) {
+	cfg := CohConfig{L1: L1Config{Sets: 1, Ways: 1, WordsPerSector: 1}}
+	s, res := cohRun(t, cfg, func(int) uint64 { return 0 }, [][]ScriptOp{
+		// Same-set stores: the second evicts the first's M line.
+		{St(1, 11), St(2, 22), Ld(1)},
+		{Poll(1, 11), Poll(2, 22)},
+	})
+	if res[0][2] != 11 {
+		t.Errorf("port 0 re-read key 1 = %d, want 11", res[0][2])
+	}
+	st := s.Dir.Stats()
+	if st.L1Evictions == 0 {
+		t.Error("no L1 eviction despite a one-entry cache")
+	}
+	if st.Writebacks == 0 {
+		t.Error("evicted Modified value never written back to the L2")
+	}
+}
+
+// TestCohMergeSerialization: merges from every port land exactly once
+// regardless of interleaving; MergeMin keeps the global minimum.
+func TestCohMergeSerialization(t *testing.T) {
+	_, res := cohRun(t, CohConfig{Ports: 3}, func(int) uint64 { return 50 }, [][]ScriptOp{
+		{Merge(0, 1), MergeMin(1, 30), Poll(0, 50+1+2+3)},
+		{Merge(0, 2), MergeMin(1, 40), Poll(0, 56)},
+		{Merge(0, 3), MergeMin(1, 35), Poll(0, 56), Poll(1, 30)},
+	})
+	if got := res[2][3]; got != 30 {
+		t.Errorf("MergeMin converged to %d, want 30", got)
+	}
+}
+
+// TestCohFaultRetry: with half the snoops dropped, the timeout+resend
+// path recovers and the run still produces coherent values.
+func TestCohFaultRetry(t *testing.T) {
+	cfg := CohConfig{SnoopTimeout: 16, Faults: CohFaults{DropSnoop: 0.5, Seed: 7}}
+	s, res := cohRun(t, cfg, func(int) uint64 { return 5 }, [][]ScriptOp{
+		{Ld(0), Poll(0, 60)},
+		{Ld(0), St(0, 60)},
+	})
+	if res[0][1] != 60 {
+		t.Errorf("re-read %d after faulty invalidation, want 60", res[0][1])
+	}
+	st := s.Dir.Stats()
+	if st.SnoopDrops == 0 {
+		t.Fatal("fault injection armed but nothing was dropped")
+	}
+	if st.SnoopRetry == 0 {
+		t.Error("drops occurred but no snoop was retried")
+	}
+}
+
+// TestCohFaultLiveness: with every snoop dropped, the retry budget runs
+// out and the directory latches a typed liveness violation — the protocol
+// traps instead of silently diverging. The supervised runner classifies
+// it as FailCoherence.
+func TestCohFaultLiveness(t *testing.T) {
+	s, err := NewCohSystem(CohConfig{
+		SnoopTimeout:    8,
+		MaxSnoopRetries: 3,
+		Faults:          CohFaults{DropSnoop: 1.0, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.Attach(s.K, check.Default())
+	_, err = RunScripts(s, h, [][]ScriptOp{
+		{Ld(0), Poll(0, 60)},
+		{Ld(0), St(0, 60)},
+	}, 50_000)
+	if err == nil {
+		t.Fatal("dropped invalidations silently succeeded")
+	}
+	var cv *check.CoherenceViolation
+	if !errors.As(err, &cv) || cv.Rule != "liveness" {
+		t.Fatalf("error %v, want a liveness CoherenceViolation", err)
+	}
+	// The supervised Run classifies the latched violation as FailCoherence.
+	ok, rep := check.Run(h, s.K, func() bool { return false }, 10)
+	if ok || rep == nil || rep.Kind != check.FailCoherence {
+		t.Fatalf("supervised run reported %+v, want FailCoherence", rep)
+	}
+}
+
+// TestCohSnapshotShape: the snapshot is sorted, sized to the port count,
+// and reflects resident states.
+func TestCohSnapshotShape(t *testing.T) {
+	s, _ := cohRun(t, CohConfig{}, func(int) uint64 { return 1 }, [][]ScriptOp{
+		{Ld(3), St(6, 2)},
+		{Ld(3)},
+	})
+	snap := s.Dir.CohSnapshot()
+	var sawShared, sawMod bool
+	last := uint64(0)
+	for i, ln := range snap.Lines {
+		if i > 0 && ln.Key[0] < last {
+			t.Fatal("snapshot lines not sorted by key")
+		}
+		last = ln.Key[0]
+		if len(ln.L1) != 2 {
+			t.Fatalf("line has %d port states, want 2", len(ln.L1))
+		}
+		if ln.Key[0] == 3 && ln.L1[0] == check.CohShared && ln.L1[1] == check.CohShared {
+			sawShared = true
+		}
+		if ln.Key[0] == 6 && ln.L1[0] == check.CohMod {
+			sawMod = true
+		}
+	}
+	if !sawShared || !sawMod {
+		t.Errorf("snapshot missing expected states (shared=%v mod=%v)", sawShared, sawMod)
+	}
+}

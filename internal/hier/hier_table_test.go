@@ -24,7 +24,10 @@ func twoLevel(t *testing.T, l1cfg L1Config, n int) (*sim.Kernel, *MetaL1, *core.
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1 := NewMetaL1(k, l1cfg, l2.Ctrl, meter)
+	l1, err := NewMetaL1(k, l1cfg, l2.Ctrl, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := img.AllocWords(n)
 	for i := 0; i < n; i++ {
 		img.W64(base+uint64(i)*8, uint64(i+500))

@@ -70,7 +70,10 @@ func TestMXTwoLevelFunctionalAndLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1 := NewMetaL1(k, L1Config{Sets: 8, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	l1, err := NewMetaL1(k, L1Config{Sets: 8, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	base := img.AllocWords(64)
 	for i := 0; i < 64; i++ {
@@ -146,7 +149,10 @@ func TestMXSharedNamespaceMerging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l1 := NewMetaL1(k, L1Config{Sets: 8, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	l1, err := NewMetaL1(k, L1Config{Sets: 8, Ways: 2, WordsPerSector: 4}, l2.Ctrl, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
 	base := img.AllocWords(16)
 	img.W64(base+8*3, 42)
 	l2.SetEnv(0, base)

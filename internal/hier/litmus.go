@@ -1,0 +1,198 @@
+package hier
+
+import (
+	"fmt"
+	"strings"
+
+	"xcache/internal/check"
+)
+
+// The coherence litmus suite: classic multi-copy shapes (store buffering,
+// message passing, load buffering), write-serialization, upgrade, and an
+// inclusion-violation shape, each expressed as deterministic per-port
+// scripts over the coherent hierarchy. The directory serializes
+// transactions per key, so the hierarchy is sequentially consistent —
+// every "forbidden" relaxed outcome must be architecturally impossible
+// here, and each test's Check enforces that independent of the golden.
+//
+// Litmus naming: lowercase shape mnemonics from the memory-model
+// literature (sb, mp, lb), coh-* for write-serialization shapes, and
+// descriptive names for hierarchy-specific shapes (inclusion, upgrade).
+
+// Litmus is one litmus test: a hierarchy configuration, seeded initial
+// values, per-port scripts, and the architectural assertion.
+type Litmus struct {
+	Name    string
+	Cfg     CohConfig
+	Seeds   map[int]uint64
+	Scripts [][]ScriptOp
+	Check   func(s *CohSystem, res [][]uint64) error
+}
+
+// RunLitmus executes one litmus test under full invariant checking and
+// returns the canonical rendered outcome.
+func RunLitmus(l Litmus) (string, error) {
+	s, err := NewCohSystem(l.Cfg)
+	if err != nil {
+		return "", err
+	}
+	for i, v := range l.Seeds {
+		s.Seed(i, v)
+	}
+	h := check.Attach(s.K, check.Default())
+	res, err := RunScripts(s, h, l.Scripts, 100_000)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", l.Name, err)
+	}
+	if err := l.Check(s, res); err != nil {
+		return "", fmt.Errorf("%s: %v", l.Name, err)
+	}
+	return renderLitmus(l.Name, s, res), nil
+}
+
+// renderLitmus produces the canonical outcome line pinned by the golden:
+// per-port response values plus the directory's protocol ledger.
+func renderLitmus(name string, s *CohSystem, res [][]uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", name)
+	for p, vals := range res {
+		fmt.Fprintf(&b, " P%d=%v", p, vals)
+	}
+	st := s.Dir.Stats()
+	fmt.Fprintf(&b, " | txns=%d grants=%d inval=%d down=%d backinval=%d wb=%d flush=%d",
+		st.Txns, st.Grants, st.Invals, st.Downgrades, st.BackInvals, st.Writebacks, st.Flushes)
+	return b.String()
+}
+
+func forbid(cond bool, shape string) error {
+	if cond {
+		return fmt.Errorf("forbidden outcome observed: %s", shape)
+	}
+	return nil
+}
+
+func expectVal(res [][]uint64, port, idx int, want uint64) error {
+	if idx >= len(res[port]) {
+		return fmt.Errorf("port %d produced %d results, need index %d", port, len(res[port]), idx)
+	}
+	if got := res[port][idx]; got != want {
+		return fmt.Errorf("port %d result %d = %d, want %d", port, idx, got, want)
+	}
+	return nil
+}
+
+// LitmusTests returns the full suite.
+func LitmusTests() []Litmus {
+	return []Litmus{
+		{
+			// Store buffering: both ports store then read the other's key.
+			// Under SC at least one load observes the other store.
+			Name: "sb",
+			Scripts: [][]ScriptOp{
+				{St(0, 1), Ld(1)},
+				{St(1, 1), Ld(0)},
+			},
+			Check: func(_ *CohSystem, res [][]uint64) error {
+				return forbid(res[0][1] == 0 && res[1][1] == 0, "sb: both loads read 0")
+			},
+		},
+		{
+			// Message passing: data must be visible once the flag is.
+			Name:  "mp",
+			Seeds: map[int]uint64{0: 0, 1: 0},
+			Scripts: [][]ScriptOp{
+				{St(0, 42), St(1, 1)},
+				{Poll(1, 1), Ld(0)},
+			},
+			Check: func(_ *CohSystem, res [][]uint64) error {
+				return expectVal(res, 1, 1, 42)
+			},
+		},
+		{
+			// Load buffering: neither load may observe the other port's
+			// later store (no value can appear out of thin air under SC
+			// with in-order ports).
+			Name: "lb",
+			Scripts: [][]ScriptOp{
+				{Ld(0), St(1, 1)},
+				{Ld(1), St(0, 1)},
+			},
+			Check: func(_ *CohSystem, res [][]uint64) error {
+				return forbid(res[0][0] == 1 && res[1][0] == 1, "lb: both loads read the later stores")
+			},
+		},
+		{
+			// Write serialization: concurrent merges from both ports must
+			// both land exactly once; both ports converge on the sum.
+			Name: "coh-ww",
+			Scripts: [][]ScriptOp{
+				{Merge(3, 5), Poll(3, 12)},
+				{Merge(3, 7), Poll(3, 12)},
+			},
+			Check: func(_ *CohSystem, res [][]uint64) error {
+				if err := expectVal(res, 0, 1, 12); err != nil {
+					return err
+				}
+				return expectVal(res, 1, 1, 12)
+			},
+		},
+		{
+			// Ownership upgrade: a Shared pair, one port upgrades with a
+			// merge; the other's copy is invalidated and re-reads the new
+			// value.
+			Name:  "upgrade",
+			Seeds: map[int]uint64{5: 10},
+			Scripts: [][]ScriptOp{
+				{Ld(5), Merge(5, 1)},
+				{Ld(5), Poll(5, 11)},
+			},
+			Check: func(s *CohSystem, res [][]uint64) error {
+				if err := expectVal(res, 0, 0, 10); err != nil {
+					return err
+				}
+				if err := expectVal(res, 1, 1, 11); err != nil {
+					return err
+				}
+				if s.Dir.Stats().Invals == 0 {
+					return fmt.Errorf("upgrade completed without any invalidation")
+				}
+				return nil
+			},
+		},
+		{
+			// Inclusion violation shape: port 0 takes key 0 Modified, then
+			// port 1 floods a tiny L2 until key 0's set is evicted. The
+			// back-invalidation must recall the M copy and flush its value
+			// to the home address, so port 0's re-read still observes 7.
+			Name: "inclusion",
+			Cfg: CohConfig{
+				Ports:   2,
+				L2Sets:  4,
+				L2Ways:  2,
+				NumKeys: 64,
+			},
+			Scripts: [][]ScriptOp{
+				{St(0, 7), Poll(40, 1), Ld(0)},
+				{
+					Ld(8), Ld(9), Ld(10), Ld(11), Ld(12), Ld(13), Ld(14), Ld(15),
+					Ld(16), Ld(17), Ld(18), Ld(19), Ld(20), Ld(21), Ld(22), Ld(23),
+					Ld(24), Ld(25), Ld(26), Ld(27), Ld(28), Ld(29), Ld(30), Ld(31),
+					Ld(32), Ld(33), Ld(34), Ld(35), Ld(36), Ld(37), Ld(38), Ld(39),
+					St(40, 1),
+				},
+			},
+			Check: func(s *CohSystem, res [][]uint64) error {
+				if err := expectVal(res, 0, 2, 7); err != nil {
+					return err
+				}
+				if s.Dir.Stats().BackInvals == 0 {
+					return fmt.Errorf("flood never triggered a back-invalidation")
+				}
+				if s.Dir.Stats().Flushes == 0 {
+					return fmt.Errorf("the recalled Modified value was never flushed home")
+				}
+				return nil
+			},
+		},
+	}
+}

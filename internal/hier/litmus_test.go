@@ -1,0 +1,69 @@
+package hier
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateLitmus = flag.Bool("update", false, "rewrite testdata/litmus.golden with the observed outcomes")
+
+// TestLitmusSuite runs every litmus test under full invariant checking.
+// Each test's Check enforces the architectural assertion (forbidden
+// outcomes stay impossible); the golden file additionally pins the exact
+// rendered outcome — response values and the directory's protocol ledger
+// — so an unintended protocol change is caught even when it stays
+// architecturally legal.
+func TestLitmusSuite(t *testing.T) {
+	var lines []string
+	for _, l := range LitmusTests() {
+		out, err := RunLitmus(l)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		t.Log(out)
+		lines = append(lines, out)
+	}
+	if t.Failed() {
+		return
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	path := filepath.Join("testdata", "litmus.golden")
+	if *updateLitmus {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update to create): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("litmus outcomes drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLitmusDeterminism: the whole suite renders identically across runs —
+// scripts, protocol, and fault rolls are fully deterministic.
+func TestLitmusDeterminism(t *testing.T) {
+	l := LitmusTests()[0]
+	a, err := RunLitmus(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLitmus(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("non-deterministic litmus outcome:\n%s\n%s", a, b)
+	}
+}
